@@ -1,0 +1,159 @@
+// Command swebd runs one live SWEB node: an HTTP/1.0 server with the
+// multi-faceted scheduler, gossiping load over UDP to its peers.
+//
+// Usage:
+//
+//	swebd -id 0 -addr 127.0.0.1:8080 -udp 127.0.0.1:9080 \
+//	      -peers "0=127.0.0.1:8080/127.0.0.1:9080,1=127.0.0.1:8081/127.0.0.1:9081" \
+//	      -docroot /srv/sweb/node0 -manifest cluster.manifest -policy sweb
+//
+// The manifest (see internal/storage.ReadManifest) maps every document to
+// its owning node; each node serves its own docroot and fetches foreign
+// documents from their owners.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"sweb/internal/accesslog"
+	"sweb/internal/core"
+	"sweb/internal/httpd"
+	"sweb/internal/oracle"
+	"sweb/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "swebd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.Int("id", 0, "this node's id")
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	udp := flag.String("udp", "127.0.0.1:9080", "loadd UDP listen address")
+	peersFlag := flag.String("peers", "", "comma list of id=http/udp peer addresses (include self)")
+	docroot := flag.String("docroot", "", "directory with this node's documents")
+	manifestPath := flag.String("manifest", "", "cluster document manifest file")
+	policy := flag.String("policy", "sweb", "scheduling policy: sweb, rr, fl, cpu")
+	maxConc := flag.Int("max-concurrent", 256, "accept capacity before shedding connections")
+	oraclePath := flag.String("oracle", "", "oracle configuration file (request characterization table)")
+	logPath := flag.String("access-log", "", "append NCSA Common Log Format lines to this file")
+	flag.Parse()
+
+	if *docroot == "" || *manifestPath == "" {
+		return fmt.Errorf("-docroot and -manifest are required")
+	}
+	mf, err := os.Open(*manifestPath)
+	if err != nil {
+		return err
+	}
+	store, err := storage.ReadManifest(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+
+	params := core.DefaultParams()
+	var pol core.Policy
+	switch *policy {
+	case "sweb":
+		pol = core.NewSWEB(params)
+	case "rr":
+		pol = core.RoundRobin{}
+	case "fl":
+		pol = core.FileLocality{P: params}
+	case "cpu":
+		pol = core.CPUOnly{P: params}
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	cfg := httpd.Config{
+		ID:            *id,
+		Addr:          *addr,
+		UDPAddr:       *udp,
+		DocRoot:       *docroot,
+		Store:         store,
+		Policy:        pol,
+		Params:        params,
+		HaveParams:    true,
+		MaxConcurrent: *maxConc,
+	}
+	if *oraclePath != "" {
+		of, err := os.Open(*oraclePath)
+		if err != nil {
+			return err
+		}
+		cfg.Oracle, err = oracle.ParseConfig(of)
+		of.Close()
+		if err != nil {
+			return err
+		}
+	}
+	var logFile *os.File
+	if *logPath != "" {
+		logFile, err = os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer logFile.Close()
+		cfg.AccessLog = accesslog.NewLogger(logFile)
+	}
+	srv, err := httpd.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv.SetPeers(peers)
+	srv.Start()
+	fmt.Printf("swebd: node %d serving on http://%s (loadd %s), %d documents, policy %s\n",
+		*id, srv.Addr(), srv.UDPAddr(), store.Len(), *policy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	if cfg.AccessLog != nil {
+		_ = cfg.AccessLog.Flush()
+	}
+	st := srv.Stats()
+	fmt.Printf("swebd: served=%d redirected=%d refused=%d internal=%d bytes=%d\n",
+		st.Served, st.Redirected, st.Refused, st.InternalFetch, st.BytesOut)
+	return nil
+}
+
+// parsePeers parses "0=host:port/host:port,1=...".
+func parsePeers(s string) ([]httpd.Peer, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var peers []httpd.Peer
+	for _, part := range strings.Split(s, ",") {
+		eq := strings.IndexByte(part, '=')
+		slash := strings.IndexByte(part, '/')
+		if eq <= 0 || slash <= eq {
+			return nil, fmt.Errorf("bad peer %q (want id=http/udp)", part)
+		}
+		id, err := strconv.Atoi(part[:eq])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id in %q", part)
+		}
+		peers = append(peers, httpd.Peer{
+			ID:       id,
+			HTTPAddr: part[eq+1 : slash],
+			UDPAddr:  part[slash+1:],
+		})
+	}
+	return peers, nil
+}

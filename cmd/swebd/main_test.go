@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("0=127.0.0.1:8080/127.0.0.1:9080,1=h:81/h:91")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 {
+		t.Fatalf("peers = %d", len(peers))
+	}
+	if peers[0].ID != 0 || peers[0].HTTPAddr != "127.0.0.1:8080" || peers[0].UDPAddr != "127.0.0.1:9080" {
+		t.Fatalf("peer 0 = %+v", peers[0])
+	}
+	if peers[1].ID != 1 || peers[1].HTTPAddr != "h:81" || peers[1].UDPAddr != "h:91" {
+		t.Fatalf("peer 1 = %+v", peers[1])
+	}
+}
+
+func TestParsePeersEmpty(t *testing.T) {
+	peers, err := parsePeers("")
+	if err != nil || peers != nil {
+		t.Fatalf("empty: %v %v", peers, err)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, in := range []string{"bogus", "x=1/2", "0=nohttpslash", "0/h=u"} {
+		if _, err := parsePeers(in); err == nil {
+			t.Errorf("parsed %q", in)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command swebdns is the round-robin front end: the stand-in for the DNS
+// rotation that gives SWEB its initial request spread. Browsers that cannot
+// be pointed at a rotating name can be pointed at swebdns, which answers
+// every request with a 302 to the next server in the rotation — the same
+// even, load-oblivious assignment BIND's round-robin provides.
+//
+// Usage:
+//
+//	swebdns -addr 127.0.0.1:8000 -servers 127.0.0.1:8080,127.0.0.1:8081
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"sweb/internal/httpmsg"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8000", "listen address")
+	servers := flag.String("servers", "", "comma list of host:port SWEB nodes")
+	flag.Parse()
+
+	var hosts []string
+	for _, h := range strings.Split(*servers, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		fmt.Fprintln(os.Stderr, "swebdns: -servers is required")
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swebdns:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("swebdns: rotating %d servers on http://%s\n", len(hosts), ln.Addr())
+
+	var next atomic.Int64
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			continue
+		}
+		go func() {
+			defer conn.Close()
+			req, err := httpmsg.ReadRequest(bufio.NewReader(conn))
+			if err != nil {
+				_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusBadRequest, nil,
+					httpmsg.ErrorBody(httpmsg.StatusBadRequest, err.Error()))
+				return
+			}
+			n := next.Add(1)
+			host := hosts[int(n)%len(hosts)]
+			target := req.Path
+			if req.Query != "" {
+				target += "?" + req.Query
+			}
+			loc := "http://" + host + target
+			h := httpmsg.Header{}
+			h.Set("Location", loc)
+			_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusMovedTemporarily, h,
+				httpmsg.ErrorBody(httpmsg.StatusMovedTemporarily,
+					`See <A HREF="`+loc+`">here</A>.`))
+		}()
+	}
+}

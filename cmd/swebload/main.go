@@ -1,0 +1,153 @@
+// Command swebload is the burst load generator used against live SWEB
+// nodes: at each second it launches a constant number of requests
+// (the paper's test methodology) round-robin across the given servers,
+// follows SWEB redirections, and reports response-time and failure
+// statistics.
+//
+// Usage:
+//
+//	swebload -servers 127.0.0.1:8080,127.0.0.1:8081 \
+//	         -paths /docs/u000000.dat,/docs/u000001.dat -rps 16 -seconds 30
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sweb/internal/httpmsg"
+)
+
+func main() {
+	servers := flag.String("servers", "", "comma list of host:port servers (the DNS rotation)")
+	pathsFlag := flag.String("paths", "/", "comma list of request paths, drawn uniformly")
+	rps := flag.Int("rps", 8, "requests launched per second")
+	seconds := flag.Int("seconds", 30, "test duration")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	hosts := splitNonEmpty(*servers)
+	paths := splitNonEmpty(*pathsFlag)
+	if len(hosts) == 0 {
+		fmt.Fprintln(os.Stderr, "swebload: -servers is required")
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	type outcome struct {
+		ok         bool
+		redirected bool
+		elapsed    time.Duration
+	}
+	total := *rps * *seconds
+	outcomes := make([]outcome, total)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	idx := 0
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for sec := 0; sec < *seconds; sec++ {
+		for k := 0; k < *rps; k++ {
+			i := idx
+			idx++
+			host := hosts[i%len(hosts)] // the DNS round-robin
+			path := paths[rng.Intn(len(paths))]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				ok, redirected := fetch(host, path, *timeout)
+				outcomes[i] = outcome{ok: ok, redirected: redirected, elapsed: time.Since(t0)}
+			}()
+		}
+		if sec < *seconds-1 {
+			<-ticker.C
+		}
+	}
+	wg.Wait()
+
+	var done, failed, redirected int
+	var latencies []time.Duration
+	for _, o := range outcomes {
+		if !o.ok {
+			failed++
+			continue
+		}
+		done++
+		if o.redirected {
+			redirected++
+		}
+		latencies = append(latencies, o.elapsed)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	fmt.Printf("offered %d  completed %d  failed %d (%.1f%%)  redirected %d  wall %.1fs\n",
+		total, done, failed, 100*float64(failed)/float64(total), redirected, time.Since(start).Seconds())
+	if done > 0 {
+		fmt.Printf("response: mean %v  p50 %v  p95 %v  max %v\n",
+			sum/time.Duration(done), latencies[done/2], latencies[done*95/100], latencies[done-1])
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// fetch performs one GET, following up to 4 redirects.
+func fetch(addr, pathAndQuery string, timeout time.Duration) (ok, redirected bool) {
+	for hop := 0; hop < 4; hop++ {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return false, redirected
+		}
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		p, q := pathAndQuery, ""
+		if i := strings.IndexByte(pathAndQuery, '?'); i >= 0 {
+			p, q = pathAndQuery[:i], pathAndQuery[i+1:]
+		}
+		req := &httpmsg.Request{Method: "GET", Path: p, Query: q, Header: httpmsg.Header{}}
+		if err := req.Write(conn); err != nil {
+			conn.Close()
+			return false, redirected
+		}
+		resp, err := httpmsg.ReadResponse(bufio.NewReader(conn), 128<<20)
+		conn.Close()
+		if err != nil {
+			return false, redirected
+		}
+		if resp.StatusCode == httpmsg.StatusMovedTemporarily {
+			loc := resp.Header.Get("Location")
+			rest, found := strings.CutPrefix(loc, "http://")
+			if !found {
+				return false, redirected
+			}
+			redirected = true
+			if slash := strings.IndexByte(rest, '/'); slash >= 0 {
+				addr, pathAndQuery = rest[:slash], rest[slash:]
+			} else {
+				addr, pathAndQuery = rest, "/"
+			}
+			continue
+		}
+		return resp.StatusCode == httpmsg.StatusOK, redirected
+	}
+	return false, redirected
+}

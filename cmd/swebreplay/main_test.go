@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"sweb/internal/accesslog"
+)
+
+func entry(path string, size int64, status int, at time.Time) accesslog.Entry {
+	return accesslog.Entry{
+		Host: "client.example", Time: at, Method: "GET", Path: path,
+		Proto: "HTTP/1.0", Status: status, Bytes: size,
+	}
+}
+
+func TestBuildReplay(t *testing.T) {
+	t0 := time.Date(1996, 5, 1, 9, 0, 0, 0, time.UTC)
+	entries := []accesslog.Entry{
+		entry("/a.html", 1000, 200, t0),
+		entry("/b.html?q=1", 2000, 200, t0.Add(time.Second)),
+		entry("/a.html", 1000, 200, t0.Add(2*time.Second)), // repeat: no new doc
+		entry("/missing", -1, 404, t0.Add(3*time.Second)),  // skipped
+	}
+	store, arrivals, err := BuildReplay(entries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("documents = %d", store.Len())
+	}
+	f, ok := store.Lookup("/b.html")
+	if !ok || f.Size != 2000 {
+		t.Fatalf("b.html = %+v ok=%v", f, ok)
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+}
+
+func TestBuildReplayEmpty(t *testing.T) {
+	if _, _, err := BuildReplay(nil, 2); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}
+
+func TestStripQuery(t *testing.T) {
+	if stripQuery("/a?b=1") != "/a" || stripQuery("/a") != "/a" {
+		t.Fatal("stripQuery")
+	}
+}

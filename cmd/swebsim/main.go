@@ -1,0 +1,81 @@
+// Command swebsim regenerates the SWEB paper's evaluation tables on the
+// simulated Meiko CS-2 / NOW substrate.
+//
+// Usage:
+//
+//	swebsim -table all            # every experiment (slow: full searches)
+//	swebsim -table 2              # a single table: 1,2,3,4,5, skew,
+//	                              # overhead, analytic, a1..a4, hetero
+//	swebsim -table 2 -quick       # shortened durations and search limits
+//	swebsim -seed 7               # change the randomness seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sweb/internal/experiments"
+	"sweb/internal/stats"
+)
+
+func main() {
+	table := flag.String("table", "all", "which experiment to run: all,1,2,3,4,5,skew,overhead,analytic,a1,a2,a3,a4,hetero,forward,central,spof,loss,curve,tput,coop,east")
+	quick := flag.Bool("quick", false, "shorter durations and search limits")
+	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "text", "output format: text, md, csv")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Seed: *seed}
+	runners := map[string]func(experiments.Options) *stats.Table{
+		"1":        func(o experiments.Options) *stats.Table { _, t := experiments.Table1(o); return t },
+		"2":        func(o experiments.Options) *stats.Table { _, t := experiments.Table2(o); return t },
+		"3":        func(o experiments.Options) *stats.Table { _, t := experiments.Table3(o); return t },
+		"4":        func(o experiments.Options) *stats.Table { _, t := experiments.Table4(o); return t },
+		"5":        func(o experiments.Options) *stats.Table { _, t := experiments.Table5(o); return t },
+		"skew":     func(o experiments.Options) *stats.Table { _, t := experiments.Skewed(o); return t },
+		"overhead": func(o experiments.Options) *stats.Table { _, t := experiments.Overhead(o); return t },
+		"analytic": func(o experiments.Options) *stats.Table { _, t := experiments.Analytic(o); return t },
+		"a1":       func(o experiments.Options) *stats.Table { _, t := experiments.AblationDelta(o); return t },
+		"a2":       func(o experiments.Options) *stats.Table { _, t := experiments.AblationDNSCache(o); return t },
+		"a3":       func(o experiments.Options) *stats.Table { _, t := experiments.AblationFacets(o); return t },
+		"a4":       func(o experiments.Options) *stats.Table { _, t := experiments.AblationPingPong(o); return t },
+		"hetero":   func(o experiments.Options) *stats.Table { _, t := experiments.Heterogeneous(o); return t },
+		"forward":  func(o experiments.Options) *stats.Table { _, t := experiments.Forwarding(o); return t },
+		"central":  func(o experiments.Options) *stats.Table { _, t := experiments.Centralized(o); return t },
+		"spof":     func(o experiments.Options) *stats.Table { _, t := experiments.CentralSPOF(o); return t },
+		"loss":     func(o experiments.Options) *stats.Table { _, t := experiments.GossipLoss(o); return t },
+		"curve":    func(o experiments.Options) *stats.Table { _, t := experiments.ScalabilityCurve(o); return t },
+		"tput":     func(o experiments.Options) *stats.Table { _, t := experiments.Throughput(o); return t },
+		"coop":     func(o experiments.Options) *stats.Table { _, t := experiments.CoopCache(o); return t },
+		"east":     func(o experiments.Options) *stats.Table { _, t := experiments.EastCoast(o); return t },
+	}
+	order := []string{"1", "2", "3", "4", "5", "skew", "overhead", "analytic",
+		"a1", "a2", "a3", "a4", "hetero", "forward", "central", "spof", "loss",
+		"curve", "tput", "coop", "east"}
+
+	which := strings.Split(*table, ",")
+	if *table == "all" {
+		which = order
+	}
+	render := func(t *stats.Table) string { return t.String() }
+	switch *format {
+	case "text":
+	case "md":
+		render = func(t *stats.Table) string { return t.Markdown() }
+	case "csv":
+		render = func(t *stats.Table) string { return t.CSV() }
+	default:
+		fmt.Fprintf(os.Stderr, "swebsim: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	for _, w := range which {
+		run, ok := runners[w]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "swebsim: unknown table %q (want one of %s)\n", w, strings.Join(order, ","))
+			os.Exit(2)
+		}
+		fmt.Println(render(run(o)))
+	}
+}

@@ -1,0 +1,80 @@
+// Digital library: the workload that motivated SWEB. An Alexandria-style
+// corpus — small metadata pages, mid-size browse thumbnails, and large
+// full-resolution map scenes, each collection on its own node's disk — is
+// served at increasing request rates on the simulated Meiko CS-2, comparing
+// SWEB's multi-faceted scheduler against NCSA round-robin and pure file
+// locality (the paper's Table 3 scenario on the ADL mix).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sweb"
+)
+
+func main() {
+	const nodes = 6
+
+	fmt.Println("Alexandria Digital Library on a simulated 6-node Meiko CS-2")
+	fmt.Println("Collections: metadata (nodes 0-1), browse images (2-3), full scenes (4-5)")
+	fmt.Println()
+	fmt.Printf("%-4s %-14s %10s %10s %10s %10s\n", "rps", "policy", "mean", "p95", "drops", "redirects")
+
+	for _, rps := range []int{8, 16, 24} {
+		for _, policy := range []string{sweb.PolicyRoundRobin, sweb.PolicyFileLocality, sweb.PolicySWEB} {
+			// The library's layout: each collection lives on its own
+			// disks — metadata on nodes 0-1, browse images on 2-3, the
+			// full-resolution scenes on 4-5. Request counts spread evenly
+			// but the bytes all come from two nodes, which is what breaks
+			// pure file locality.
+			st := sweb.NewStore(nodes)
+			rng := rand.New(rand.NewSource(42))
+			var meta, browse, full []string
+			for i := 0; i < 80; i++ {
+				p := fmt.Sprintf("/adl/meta/m%04d.html", i)
+				st.MustAdd(sweb.File{Path: p, Size: 2 << 10, Owner: i % 2})
+				meta = append(meta, p)
+			}
+			for i := 0; i < 60; i++ {
+				p := fmt.Sprintf("/adl/browse/b%04d.gif", i)
+				st.MustAdd(sweb.File{Path: p, Size: 200<<10 + int64(rng.Intn(100<<10)), Owner: 2 + i%2})
+				browse = append(browse, p)
+			}
+			for i := 0; i < 30; i++ {
+				p := fmt.Sprintf("/adl/full/f%04d.img", i)
+				st.MustAdd(sweb.File{Path: p, Size: 1200<<10 + int64(rng.Intn(300<<10)), Owner: 4 + i%2})
+				full = append(full, p)
+			}
+			// Browsing sessions: most hits are metadata and thumbnails,
+			// but the bytes are in the full scenes.
+			pick, err := sweb.WeightedPicker(
+				[][]string{meta, browse, full}, []float64{0.2, 0.25, 0.55})
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			cfg := sweb.MeikoSim(nodes, st)
+			cfg.Policy = policy
+			cfg.Seed = int64(rps)
+			cl, err := sweb.NewSimCluster(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			burst := sweb.Burst{RPS: rps, DurationSeconds: 30, Jitter: true}
+			arrivals, err := burst.Generate(pick, nil, rand.New(rand.NewSource(int64(rps)*7)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := cl.RunSchedule(arrivals)
+			fmt.Printf("%-4d %-14s %9.2fs %9.2fs %9.1f%% %10d\n",
+				rps, cl.PolicyName(), res.MeanResponse(), res.Response.Quantile(0.95),
+				res.DropRate()*100, res.Redirects)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Lightly loaded, the three policies are close. As the full-scene")
+	fmt.Println("traffic saturates nodes 4-5, file locality melts onto the image")
+	fmt.Println("servers while SWEB spreads the work and pulls ahead of both.")
+}

@@ -1,0 +1,64 @@
+// Heterogeneous pool: the Section 5 future-work scenario. Workstations "can
+// be used for other computing needs, and can leave and join the system
+// resource pool at any time" — so two nodes run at half speed, one node
+// crashes mid-run and later rejoins, and the loadd timeout is what keeps
+// the cluster serving. Round-robin DNS cannot react; SWEB's brokers route
+// around the dead and slow nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sweb"
+	"sweb/internal/des"
+	"sweb/internal/simsrv"
+)
+
+func main() {
+	const (
+		nodes = 6
+		rps   = 16
+		dur   = 30
+	)
+	fmt.Println("Heterogeneous 6-node cluster: nodes 4-5 at half speed;")
+	fmt.Println("node 3 leaves the pool at t=10s and rejoins at t=20s.")
+	fmt.Println()
+
+	for _, policy := range []string{sweb.PolicyRoundRobin, sweb.PolicySWEB} {
+		st := sweb.NewStore(nodes)
+		paths := sweb.UniformSet(st, 24, 1536<<10)
+
+		specs := simsrv.MeikoSpecs(nodes)
+		for _, slow := range []int{4, 5} {
+			specs[slow].CPUOpsPerSec /= 2
+			specs[slow].DiskBytesPerSec /= 2
+		}
+		cfg := sweb.SimConfig{Specs: specs, Net: sweb.NetMeiko, Store: st, Policy: policy, Seed: 3}
+		cl, err := sweb.NewSimCluster(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl.FailNodeAt(10*des.Second, 3)
+		cl.RecoverNodeAt(20*des.Second, 3)
+
+		burst := sweb.Burst{RPS: rps, DurationSeconds: dur, Jitter: true}
+		arrivals, err := burst.Generate(sweb.UniformPicker(paths), nil, rand.New(rand.NewSource(11)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := cl.RunSchedule(arrivals)
+
+		fmt.Printf("%-12s mean=%6.2fs p95=%6.2fs drops=%4.1f%% redirects=%d\n",
+			cl.PolicyName(), res.MeanResponse(), res.Response.Quantile(0.95),
+			res.DropRate()*100, res.Redirects)
+		fmt.Print("  served per node: ")
+		for i, n := range res.PerNodeServed {
+			fmt.Printf("n%d=%d ", i, n)
+		}
+		fmt.Println("\n  (node 3 dips while down; nodes 4-5 serve less under SWEB, which")
+		fmt.Println("   sees their halved capabilities in every loadd broadcast)")
+		fmt.Println()
+	}
+}

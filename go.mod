@@ -1,0 +1,3 @@
+module sweb
+
+go 1.22

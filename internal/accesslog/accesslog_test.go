@@ -1,0 +1,162 @@
+package accesslog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleEntry() Entry {
+	return Entry{
+		Host:   "128.111.41.7",
+		Time:   time.Date(1996, time.February, 2, 15, 4, 5, 0, time.FixedZone("", -7*3600)),
+		Method: "GET", Path: "/adl/full/scene.img", Proto: "HTTP/1.0",
+		Status: 200, Bytes: 1572864,
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	got := sampleEntry().String()
+	want := `128.111.41.7 - - [02/Feb/1996:15:04:05 -0700] "GET /adl/full/scene.img HTTP/1.0" 200 1572864`
+	if got != want {
+		t.Fatalf("got  %q\nwant %q", got, want)
+	}
+}
+
+func TestEntryStringDashSize(t *testing.T) {
+	e := sampleEntry()
+	e.Bytes = -1
+	if !strings.HasSuffix(e.String(), " 200 -") {
+		t.Fatalf("got %q", e.String())
+	}
+}
+
+func TestParseLineRoundTrip(t *testing.T) {
+	orig := sampleEntry()
+	got, err := ParseLine(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != orig.Host || got.Method != orig.Method || got.Path != orig.Path ||
+		got.Status != orig.Status || got.Bytes != orig.Bytes {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !got.Time.Equal(orig.Time) {
+		t.Fatalf("time: %v != %v", got.Time, orig.Time)
+	}
+}
+
+func TestParseLineWithQuery(t *testing.T) {
+	line := `host - - [02/Feb/1996:15:04:05 -0700] "GET /cgi-bin/q.cgi?x=1&swebr=1 HTTP/1.0" 200 44`
+	e, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Path != "/cgi-bin/q.cgi?x=1&swebr=1" {
+		t.Fatalf("path = %q", e.Path)
+	}
+}
+
+func TestParseLineIdentAndUser(t *testing.T) {
+	line := `frank rfc931 alice [02/Feb/1996:15:04:05 -0700] "GET / HTTP/1.0" 200 1`
+	e, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Ident != "rfc931" || e.AuthUser != "alice" {
+		t.Fatalf("ident=%q user=%q", e.Ident, e.AuthUser)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"too short",
+		`h - - no-timestamp "GET / HTTP/1.0" 200 1`,
+		`h - - [bad time] "GET / HTTP/1.0" 200 1`,
+		`h - - [02/Feb/1996:15:04:05 -0700] GET / 200 1`,      // unquoted request
+		`h - - [02/Feb/1996:15:04:05 -0700] "GET /" 200 1`,    // 2-field request
+		`h - - [02/Feb/1996:15:04:05 -0700] "GET / HTTP/1.0"`, // missing status
+		`h - - [02/Feb/1996:15:04:05 -0700] "GET / HTTP/1.0" banana 1`,
+		`h - - [02/Feb/1996:15:04:05 -0700] "GET / HTTP/1.0" 200 minus`,
+		`h - - [02/Feb/1996:15:04:05 -0700] "GET / HTTP/1.0" 99 1`, // status range
+	}
+	for _, line := range cases {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("line %q parsed", line)
+		}
+	}
+}
+
+func TestLoggerAndParse(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf)
+	e1 := sampleEntry()
+	e2 := sampleEntry()
+	e2.Path = "/other.html"
+	e2.Status = 404
+	e2.Bytes = -1
+	if err := lg.Log(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Log(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Status != 404 || entries[1].Bytes != -1 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestParseSkipsBlankLines(t *testing.T) {
+	in := "\n" + sampleEntry().String() + "\n\n"
+	entries, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+}
+
+func TestParseReportsLineNumber(t *testing.T) {
+	in := sampleEntry().String() + "\ngarbage line here\n"
+	_, err := Parse(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: String → ParseLine round-trips for arbitrary safe fields.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(hostIdx uint8, pathIdx uint8, status uint16, size uint32, secs uint32) bool {
+		hosts := []string{"a.example", "10.0.0.9", "client-42.ucsb.edu"}
+		paths := []string{"/", "/a/b.html", "/cgi-bin/q.cgi?x=1", "/with%20escape"}
+		e := Entry{
+			Host:   hosts[int(hostIdx)%len(hosts)],
+			Time:   time.Unix(int64(secs), 0).UTC(),
+			Method: "GET",
+			Path:   paths[int(pathIdx)%len(paths)],
+			Proto:  "HTTP/1.0",
+			Status: 100 + int(status)%500,
+			Bytes:  int64(size),
+		}
+		got, err := ParseLine(e.String())
+		if err != nil {
+			return false
+		}
+		return got.Host == e.Host && got.Path == e.Path &&
+			got.Status == e.Status && got.Bytes == e.Bytes && got.Time.Equal(e.Time)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package analytic implements the Section 3.3 performance analysis: a
+// closed-form bound on the maximum sustained requests/second of a p-node
+// SWEB for file fetches,
+//
+//	r ≤ 1 / [ (1/p + d)·F/b1 + (1 − 1/p − d)·F/min(b1,b2) + A + d·(A+O) ]
+//
+// per node (R = p·r for the whole machine), where F is the average file
+// size, b1/b2 the local/remote disk bandwidths, d the average redirection
+// probability, A the preprocessing overhead, and O the redirection
+// overhead. The paper's example — b1 = 5 MB/s, b2 = 4.5 MB/s, O ≈ 0, p = 6
+// — gives r = 2.88 and a machine-wide 17.3 rps, "close to our experimental
+// results" (16 rps measured in Table 1).
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model holds the parameters of the Section 3.3 analysis.
+type Model struct {
+	// P is the number of nodes.
+	P int
+	// F is the average requested file size in bytes.
+	F float64
+	// B1 is the local disk bandwidth in bytes/second.
+	B1 float64
+	// B2 is the remote (NFS-over-interconnect) bandwidth in bytes/second.
+	B2 float64
+	// D is the average redirection probability (0..1). A redirected
+	// request is assumed to land at the file's owner, so it is served
+	// from the local disk.
+	D float64
+	// A is the per-request preprocessing overhead in seconds.
+	A float64
+	// O is the redirection overhead in seconds.
+	O float64
+}
+
+// Validate reports out-of-range parameters.
+func (m Model) Validate() error {
+	switch {
+	case m.P <= 0:
+		return fmt.Errorf("analytic: P must be positive")
+	case m.F <= 0:
+		return fmt.Errorf("analytic: F must be positive")
+	case m.B1 <= 0 || m.B2 <= 0:
+		return fmt.Errorf("analytic: bandwidths must be positive")
+	case m.D < 0 || m.D > 1:
+		return fmt.Errorf("analytic: D must be in [0,1]")
+	case m.A < 0 || m.O < 0:
+		return fmt.Errorf("analytic: overheads must be non-negative")
+	case 1/float64(m.P)+m.D > 1:
+		return fmt.Errorf("analytic: 1/p + d exceeds 1; the local fraction is ill-defined")
+	}
+	return nil
+}
+
+// PerRequestSeconds returns the denominator: the average bottleneck time
+// one request occupies on a node.
+func (m Model) PerRequestSeconds() float64 {
+	localFrac := 1/float64(m.P) + m.D
+	remoteFrac := 1 - localFrac
+	return localFrac*m.F/m.B1 +
+		remoteFrac*m.F/math.Min(m.B1, m.B2) +
+		m.A + m.D*(m.A+m.O)
+}
+
+// PerNodeRPS returns the sustained per-node bound r.
+func (m Model) PerNodeRPS() float64 { return 1 / m.PerRequestSeconds() }
+
+// MaxSustainedRPS returns the machine-wide bound p·r.
+func (m Model) MaxSustainedRPS() float64 {
+	return float64(m.P) * m.PerNodeRPS()
+}
+
+// MeikoExample returns the parameterization from the paper's Section 3.3
+// example (A calibrated to 20 ms so that r = 2.88 as printed).
+func MeikoExample() Model {
+	return Model{P: 6, F: 1.5e6, B1: 5e6, B2: 4.5e6, D: 0, A: 0.02, O: 0}
+}
+
+// NOWExample parameterizes the SparcStation NOW: the "disk" a remote fetch
+// competes with is the shared Ethernet, so b2 is the effective bus rate.
+func NOWExample() Model {
+	return Model{P: 4, F: 1.5e6, B1: 3.5e6, B2: 1.1e6, D: 0, A: 0.02, O: 0}
+}
+
+// Sweep evaluates MaxSustainedRPS for each node count in ps, holding the
+// other parameters fixed — the scalability curve behind Table 2.
+func (m Model) Sweep(ps []int) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		mm := m
+		mm.P = p
+		out[i] = mm.MaxSustainedRPS()
+	}
+	return out
+}

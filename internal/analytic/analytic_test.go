@@ -1,0 +1,144 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeikoExampleMatchesPaper(t *testing.T) {
+	m := MeikoExample()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// "p = 6, r = 2.88, then the maximum sustained rps is 17.3 for 6 nodes."
+	if r := m.PerNodeRPS(); math.Abs(r-2.88) > 0.02 {
+		t.Fatalf("per-node rps = %v, paper says 2.88", r)
+	}
+	if R := m.MaxSustainedRPS(); math.Abs(R-17.3) > 0.1 {
+		t.Fatalf("sustained rps = %v, paper says 17.3", R)
+	}
+}
+
+func TestNOWExampleIsBusBound(t *testing.T) {
+	m := NOWExample()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The Ethernet-bound NOW must land far below the Meiko.
+	if m.MaxSustainedRPS() >= MeikoExample().MaxSustainedRPS()/2 {
+		t.Fatalf("NOW bound %v not clearly below Meiko %v",
+			m.MaxSustainedRPS(), MeikoExample().MaxSustainedRPS())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := MeikoExample()
+	mut := func(f func(*Model)) Model { m := base; f(&m); return m }
+	bad := []Model{
+		mut(func(m *Model) { m.P = 0 }),
+		mut(func(m *Model) { m.F = 0 }),
+		mut(func(m *Model) { m.B1 = 0 }),
+		mut(func(m *Model) { m.B2 = -1 }),
+		mut(func(m *Model) { m.D = -0.1 }),
+		mut(func(m *Model) { m.D = 1.1 }),
+		mut(func(m *Model) { m.A = -1 }),
+		mut(func(m *Model) { m.O = -1 }),
+		mut(func(m *Model) { m.P = 2; m.D = 0.9 }), // 1/p + d > 1
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestMoreNodesMoreThroughput(t *testing.T) {
+	m := MeikoExample()
+	rs := m.Sweep([]int{1, 2, 4, 6, 8, 12})
+	for i := 1; i < len(rs); i++ {
+		if rs[i] <= rs[i-1] {
+			t.Fatalf("throughput not increasing with nodes: %v", rs)
+		}
+	}
+}
+
+func TestPerNodeRPSDecreasesWithNodes(t *testing.T) {
+	// More nodes → more remote fetches → per-node rate drops (b2 < b1).
+	one := MeikoExample()
+	one.P = 1
+	six := MeikoExample()
+	if one.PerNodeRPS() <= six.PerNodeRPS() {
+		t.Fatalf("p=1 per-node %v should exceed p=6 %v", one.PerNodeRPS(), six.PerNodeRPS())
+	}
+}
+
+func TestRedirectionProbabilityTradeoff(t *testing.T) {
+	// With O ≈ 0 and b2 < b1, redirecting toward owners (d > 0) shifts
+	// fetches to the faster local disk and raises the bound slightly.
+	m := MeikoExample()
+	m.O = 0
+	m.A = 0.02
+	noRedir := m
+	noRedir.D = 0
+	withRedir := m
+	withRedir.D = 0.2
+	if withRedir.MaxSustainedRPS() <= noRedir.MaxSustainedRPS() {
+		t.Fatalf("cheap redirection should help: %v vs %v",
+			withRedir.MaxSustainedRPS(), noRedir.MaxSustainedRPS())
+	}
+	// But with an expensive redirect it hurts.
+	costly := m
+	costly.D = 0.2
+	costly.O = 2.0
+	if costly.MaxSustainedRPS() >= noRedir.MaxSustainedRPS() {
+		t.Fatal("expensive redirection should hurt")
+	}
+}
+
+// Property: throughput is monotone in the obvious directions — larger F or
+// A never increases the bound; larger b1/b2 never decrease it.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(df, da, db uint8) bool {
+		base := MeikoExample()
+		worseF := base
+		worseF.F += float64(df) * 1e4
+		worseA := base
+		worseA.A += float64(da) * 1e-3
+		betterB := base
+		betterB.B1 += float64(db) * 1e4
+		betterB.B2 += float64(db) * 1e4
+		r := base.MaxSustainedRPS()
+		return worseF.MaxSustainedRPS() <= r+1e-9 &&
+			worseA.MaxSustainedRPS() <= r+1e-9 &&
+			betterB.MaxSustainedRPS() >= r-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PerRequestSeconds is always positive for valid models, so the
+// rps bound is finite and positive.
+func TestBoundPositiveProperty(t *testing.T) {
+	f := func(p uint8, fKB uint16, d uint8) bool {
+		m := Model{
+			P:  int(p%12) + 1,
+			F:  float64(fKB%2048+1) * 1024,
+			B1: 5e6, B2: 4.5e6,
+			D: float64(d%50) / 100,
+			A: 0.02,
+		}
+		if 1/float64(m.P)+m.D > 1 {
+			return true // invalid by construction; skip
+		}
+		if m.Validate() != nil {
+			return true
+		}
+		return m.PerRequestSeconds() > 0 && m.MaxSustainedRPS() > 0 &&
+			!math.IsInf(m.MaxSustainedRPS(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

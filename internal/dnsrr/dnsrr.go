@@ -1,0 +1,138 @@
+// Package dnsrr models the round-robin DNS front end that gives SWEB its
+// initial request spread: "the user requests are first evenly routed to
+// SWEB processors via the DNS rotation ... in a round-robin fashion"
+// (Sec. 3.1), together with the weakness the paper calls out — DNS caching,
+// where "all requests for a period of time from a DNS server's domain will
+// go to a particular IP address".
+package dnsrr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Resolver rotates over the currently registered node ids. It is safe for
+// concurrent use (the live cluster resolves from many client goroutines).
+type Resolver struct {
+	mu    sync.Mutex
+	nodes []int // sorted registered ids
+	next  int   // rotation cursor into nodes
+
+	// cacheTTL > 0 enables the client-side caching model: each client
+	// domain pins the answer it last received for cacheTTL seconds.
+	cacheTTL float64
+	cache    map[string]cachedAnswer
+
+	resolutions int64
+	cacheHits   int64
+}
+
+type cachedAnswer struct {
+	node    int
+	expires float64
+}
+
+// New creates a resolver over the given node ids. TTL 0 disables caching
+// (every lookup hits the rotation, the paper's idealized best case).
+func New(nodes []int, cacheTTL float64) (*Resolver, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("dnsrr: no nodes registered")
+	}
+	if cacheTTL < 0 {
+		return nil, fmt.Errorf("dnsrr: negative TTL")
+	}
+	r := &Resolver{cacheTTL: cacheTTL, cache: make(map[string]cachedAnswer)}
+	seen := make(map[int]bool)
+	for _, n := range nodes {
+		if n < 0 {
+			return nil, fmt.Errorf("dnsrr: negative node id %d", n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("dnsrr: duplicate node id %d", n)
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Ints(r.nodes)
+	return r, nil
+}
+
+// Register adds a node to the rotation (a workstation joining the pool).
+// Adding an existing node is a no-op.
+func (r *Resolver) Register(node int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nodes {
+		if n == node {
+			return
+		}
+	}
+	r.nodes = append(r.nodes, node)
+	sort.Ints(r.nodes)
+}
+
+// Deregister removes a node from the rotation (leaving the pool). The DNS
+// cannot react to load, but operators do remove dead names.
+func (r *Resolver) Deregister(node int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, n := range r.nodes {
+		if n == node {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			if r.next >= len(r.nodes) && len(r.nodes) > 0 {
+				r.next = 0
+			}
+			return
+		}
+	}
+}
+
+// Nodes returns the registered rotation in sorted order.
+func (r *Resolver) Nodes() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.nodes...)
+}
+
+// Resolve returns the node for a lookup from clientDomain at time now
+// (seconds). With caching enabled, repeated lookups from the same domain
+// within the TTL return the same node — the skew the paper warns about.
+// An empty clientDomain bypasses the cache.
+func (r *Resolver) Resolve(clientDomain string, now float64) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.nodes) == 0 {
+		return 0, fmt.Errorf("dnsrr: no nodes registered")
+	}
+	r.resolutions++
+	if r.cacheTTL > 0 && clientDomain != "" {
+		if a, ok := r.cache[clientDomain]; ok && now < a.expires && r.registered(a.node) {
+			r.cacheHits++
+			return a.node, nil
+		}
+	}
+	node := r.nodes[r.next%len(r.nodes)]
+	r.next = (r.next + 1) % len(r.nodes)
+	if r.cacheTTL > 0 && clientDomain != "" {
+		r.cache[clientDomain] = cachedAnswer{node: node, expires: now + r.cacheTTL}
+	}
+	return node, nil
+}
+
+func (r *Resolver) registered(node int) bool {
+	for _, n := range r.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns total resolutions and how many were served from client
+// caches.
+func (r *Resolver) Stats() (resolutions, cacheHits int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resolutions, r.cacheHits
+}

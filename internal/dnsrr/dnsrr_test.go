@@ -1,0 +1,163 @@
+package dnsrr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRotationIsRoundRobin(t *testing.T) {
+	r, err := New([]int{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for i := 0; i < 6; i++ {
+		n, err := r.Resolve("", float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, n)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v", got)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := New([]int{1, 1}, 0); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+	if _, err := New([]int{-1}, 0); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := New([]int{0}, -5); err == nil {
+		t.Fatal("negative TTL accepted")
+	}
+}
+
+func TestRegisterAndDeregister(t *testing.T) {
+	r, _ := New([]int{0, 1}, 0)
+	r.Register(2)
+	r.Register(2) // idempotent
+	if got := r.Nodes(); len(got) != 3 || got[2] != 2 {
+		t.Fatalf("nodes = %v", got)
+	}
+	r.Deregister(1)
+	if got := r.Nodes(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("nodes = %v", got)
+	}
+	r.Deregister(99) // unknown: no-op
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		n, _ := r.Resolve("", 0)
+		seen[n] = true
+	}
+	if seen[1] {
+		t.Fatal("deregistered node still resolved")
+	}
+}
+
+func TestDeregisterLastNodeThenResolveFails(t *testing.T) {
+	r, _ := New([]int{0}, 0)
+	r.Deregister(0)
+	if _, err := r.Resolve("", 0); err == nil {
+		t.Fatal("resolve with empty rotation succeeded")
+	}
+}
+
+func TestCachingPinsDomainToOneNode(t *testing.T) {
+	r, _ := New([]int{0, 1, 2}, 60)
+	first, _ := r.Resolve("ucsb.edu", 0)
+	for i := 1; i < 10; i++ {
+		n, _ := r.Resolve("ucsb.edu", float64(i))
+		if n != first {
+			t.Fatalf("cached domain moved from %d to %d", first, n)
+		}
+	}
+	// A different domain advances the rotation.
+	other, _ := r.Resolve("rutgers.edu", 1)
+	if other == first {
+		t.Fatal("second domain should get the next rotation slot")
+	}
+	res, hits := r.Stats()
+	if res != 11 || hits != 9 {
+		t.Fatalf("resolutions=%d hits=%d", res, hits)
+	}
+}
+
+func TestCacheExpiresAfterTTL(t *testing.T) {
+	r, _ := New([]int{0, 1}, 10)
+	a, _ := r.Resolve("d", 0)
+	b, _ := r.Resolve("d", 10.5) // expired: next rotation slot
+	if a == b {
+		t.Fatal("cache did not expire")
+	}
+}
+
+func TestCachedAnswerForDeregisteredNodeRefreshes(t *testing.T) {
+	r, _ := New([]int{0, 1}, 100)
+	first, _ := r.Resolve("d", 0)
+	r.Deregister(first)
+	n, _ := r.Resolve("d", 1)
+	if n == first {
+		t.Fatal("resolved to a deregistered node from cache")
+	}
+}
+
+func TestEmptyDomainBypassesCache(t *testing.T) {
+	r, _ := New([]int{0, 1}, 100)
+	a, _ := r.Resolve("", 0)
+	b, _ := r.Resolve("", 0)
+	if a == b {
+		t.Fatal("empty domain was cached")
+	}
+}
+
+func TestZeroTTLDisablesCaching(t *testing.T) {
+	r, _ := New([]int{0, 1}, 0)
+	a, _ := r.Resolve("d", 0)
+	b, _ := r.Resolve("d", 0)
+	if a == b {
+		t.Fatal("TTL=0 still cached")
+	}
+}
+
+// Property: without caching, any window of k*len(nodes) consecutive
+// resolutions hits every node exactly k times.
+func TestRotationFairnessProperty(t *testing.T) {
+	f := func(nodes uint8, k uint8) bool {
+		n := int(nodes%6) + 1
+		reps := int(k%4) + 1
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		r, err := New(ids, 0)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, n)
+		for i := 0; i < n*reps; i++ {
+			got, err := r.Resolve("", 0)
+			if err != nil {
+				return false
+			}
+			counts[got]++
+		}
+		for _, c := range counts {
+			if c != reps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweb/internal/core"
+	"sweb/internal/des"
+	"sweb/internal/simsrv"
+	"sweb/internal/stats"
+	"sweb/internal/storage"
+	"sweb/internal/workload"
+)
+
+// AblationRow is one variant of a design-choice ablation.
+type AblationRow struct {
+	Variant      string
+	MeanResponse float64
+	P95Response  float64
+	DropRate     float64
+	Redirects    int64
+	Imbalance    float64
+}
+
+func ablationTable(title, caption string, rows []AblationRow) *stats.Table {
+	tbl := &stats.Table{
+		Title:   title,
+		Header:  []string{"variant", "response", "p95", "drop rate", "redirects", "imbalance"},
+		Caption: caption,
+	}
+	for _, r := range rows {
+		tbl.AddRowStrings(r.Variant, stats.FormatSeconds(r.MeanResponse),
+			stats.FormatSeconds(r.P95Response), stats.FormatPercent(r.DropRate),
+			fmt.Sprintf("%d", r.Redirects), fmt.Sprintf("%.2f", r.Imbalance))
+	}
+	return tbl
+}
+
+func rowFrom(variant string, res *stats.RunResult) AblationRow {
+	return AblationRow{
+		Variant:      variant,
+		MeanResponse: res.MeanResponse(),
+		P95Response:  res.Response.Quantile(0.95),
+		DropRate:     res.DropRate(),
+		Redirects:    res.Redirects,
+		Imbalance:    imbalance(res.PerNodeServed),
+	}
+}
+
+// AblationDelta toggles the Δ=30% anti-herd bump (Sec. 3.2: "To avoid this
+// unsynchronized overloading, we conservatively increase the CPU load of px
+// by Δ"). Without it, every broker chases the same stale "lightly loaded"
+// peer between broadcasts.
+func AblationDelta(o Options) ([]AblationRow, *stats.Table) {
+	const nodes, rps = 6, 20
+	var rows []AblationRow
+	for _, delta := range []float64{0.30, 0} {
+		st, pick := adlStore(nodes, o.Seed+17)
+		cfg := simsrv.MeikoConfig(nodes, st)
+		cfg.Policy = simsrv.PolicySWEB
+		cfg.Params = core.DefaultParams()
+		cfg.Params.Delta = delta
+		cfg.HaveParams = true
+		cfg.ClientTimeout = 600 * des.Second
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		res := mustRun(cfg, burst, pick, nil, o.Seed+601)
+		rows = append(rows, rowFrom(fmt.Sprintf("delta=%.0f%%", delta*100), res))
+	}
+	return rows, ablationTable(
+		"Ablation A1: anti-herd bump (delta) on vs off, non-uniform load, 20 rps",
+		"Without delta, redirects dogpile whichever node last broadcast a low load.", rows)
+}
+
+// AblationDNSCache contrasts pure DNS rotation with cached client domains
+// (the round-robin weakness called out in Section 1): a handful of client
+// domains re-using cached answers skews the initial assignment.
+func AblationDNSCache(o Options) ([]AblationRow, *stats.Table) {
+	const nodes, rps = 6, 16
+	var rows []AblationRow
+	cases := []struct {
+		label   string
+		ttl     float64
+		domains int
+		policy  string
+	}{
+		{"no caching, RR", 0, 0, simsrv.PolicyRoundRobin},
+		{"cached (3 domains, 60s TTL), RR", 60, 3, simsrv.PolicyRoundRobin},
+		{"cached (3 domains, 60s TTL), SWEB", 60, 3, simsrv.PolicySWEB},
+	}
+	for i, cse := range cases {
+		st, paths := uniformStore(nodes, fileCount(LargeFile), LargeFile)
+		cfg := simsrv.MeikoConfig(nodes, st)
+		cfg.Policy = cse.policy
+		cfg.DNSCacheTTL = cse.ttl
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		res := mustRun(cfg, burst, workload.UniformPicker(paths),
+			workload.NewDomainPool(cse.domains), o.Seed+700+int64(i))
+		rows = append(rows, rowFrom(cse.label, res))
+	}
+	return rows, ablationTable(
+		"Ablation A2: DNS caching skew, 1.5M files, 16 rps, Meiko 6 nodes",
+		"DNS caching funnels whole client domains to one node; SWEB's re-scheduling absorbs the skew.", rows)
+}
+
+// AblationFacets compares the multi-faceted cost model against single-
+// faceted variants (CPU-only policy; SWEB without the disk facet) on the
+// non-uniform workload where disk pressure, not CPU, is the real signal.
+func AblationFacets(o Options) ([]AblationRow, *stats.Table) {
+	const nodes, rps = 6, 20
+	var rows []AblationRow
+	type variant struct {
+		label  string
+		policy string
+		mut    func(*core.Params)
+	}
+	variants := []variant{
+		{"multi-faceted (SWEB)", simsrv.PolicySWEB, nil},
+		{"single-faceted (CPU-only)", simsrv.PolicyCPUOnly, nil},
+		{"SWEB w/o disk facet", simsrv.PolicySWEB, func(p *core.Params) { p.UseDiskFacet = false }},
+		{"SWEB w/o net facet", simsrv.PolicySWEB, func(p *core.Params) { p.UseNetFacet = false }},
+	}
+	for i, v := range variants {
+		st, pick := adlStore(nodes, o.Seed+17)
+		cfg := simsrv.MeikoConfig(nodes, st)
+		cfg.Policy = v.policy
+		if v.mut != nil {
+			p := core.DefaultParams()
+			v.mut(&p)
+			cfg.Params = p
+			cfg.HaveParams = true
+		}
+		cfg.ClientTimeout = 600 * des.Second
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		res := mustRun(cfg, burst, pick, nil, o.Seed+800+int64(i))
+		rows = append(rows, rowFrom(v.label, res))
+	}
+	return rows, ablationTable(
+		"Ablation A3: multi-faceted vs single-faceted scheduling, non-uniform load, 20 rps",
+		"The optimal assignment 'does not solely depend on CPU loads' (Sec. 1).", rows)
+}
+
+// AblationPingPong varies MaxRedirects. The paper pins it at 1 "to avoid
+// the ping-pong effect"; allowing more lets requests bounce between nodes
+// that each think the other is less loaded.
+func AblationPingPong(o Options) ([]AblationRow, *stats.Table) {
+	const nodes, rps = 6, 20
+	var rows []AblationRow
+	for i, maxR := range []int{1, 3, 0} {
+		st, pick := adlStore(nodes, o.Seed+17)
+		cfg := simsrv.MeikoConfig(nodes, st)
+		cfg.Policy = simsrv.PolicySWEB
+		p := core.DefaultParams()
+		p.MaxRedirects = maxR
+		cfg.Params = p
+		cfg.HaveParams = true
+		cfg.ClientTimeout = 600 * des.Second
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		res := mustRun(cfg, burst, pick, nil, o.Seed+900+int64(i))
+		rows = append(rows, rowFrom(fmt.Sprintf("max redirects=%d", maxR), res))
+	}
+	return rows, ablationTable(
+		"Ablation A4: redirect limit (ping-pong guard), non-uniform load, 20 rps",
+		"MaxRedirects=1 is the paper's rule; 0 disables re-scheduling entirely.", rows)
+}
+
+// Heterogeneous exercises the Section 5 future-work scenario: unequal node
+// speeds plus a node leaving and rejoining the pool mid-run. SWEB must keep
+// serving (loadd times the dead node out) where round robin keeps throwing
+// requests at it.
+func Heterogeneous(o Options) ([]AblationRow, *stats.Table) {
+	const rps = 16
+	dur := o.burstDur()
+	var rows []AblationRow
+	for i, pol := range []string{simsrv.PolicyRoundRobin, simsrv.PolicySWEB} {
+		st := storage.NewStore(6)
+		paths := storage.UniformSet(st, 24, LargeFile)
+		specs := simsrv.MeikoSpecs(6)
+		// Two nodes are older, half-speed workstations with slower disks.
+		for _, slow := range []int{4, 5} {
+			specs[slow].CPUOpsPerSec /= 2
+			specs[slow].DiskBytesPerSec /= 2
+		}
+		cfg := simsrv.Config{Specs: specs, Net: simsrv.NetMeiko, Store: st, Policy: pol}
+		cl, err := simsrv.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		// Node 3 crashes a third of the way in and rejoins at two thirds.
+		cl.FailNodeAt(des.Time(dur/3)*des.Second, 3)
+		cl.RecoverNodeAt(des.Time(2*dur/3)*des.Second, 3)
+		burst := workload.Burst{RPS: rps, DurationSeconds: dur, Jitter: true}
+		arrivals, err := burst.Generate(workload.UniformPicker(paths), nil,
+			newRand(o.Seed+1000+int64(i)))
+		if err != nil {
+			panic(err)
+		}
+		res := cl.RunSchedule(arrivals)
+		label := map[string]string{simsrv.PolicyRoundRobin: "Round Robin", simsrv.PolicySWEB: "SWEB"}[pol]
+		rows = append(rows, rowFrom(label, res))
+	}
+	return rows, ablationTable(
+		"F1: heterogeneous speeds + node churn (node 3 fails and rejoins), 16 rps, 1.5M",
+		"Both policies lose the DNS arrivals aimed at the dead node; SWEB's gain is "+
+			"response time — loadd times the node out, so peers stop redirecting to it "+
+			"and route around the half-speed stragglers.", rows)
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweb/internal/des"
+	"sweb/internal/netsim"
+	"sweb/internal/simsrv"
+	"sweb/internal/stats"
+	"sweb/internal/storage"
+	"sweb/internal/workload"
+)
+
+// Forwarding compares the paper's chosen reassignment mechanism (URL
+// redirection) with the alternative it rejected (server-side request
+// forwarding, Sec. 3.1): forwarding saves the client round trip but
+// occupies two handler slots per request and relays every byte across the
+// interconnect a second time.
+func Forwarding(o Options) ([]AblationRow, *stats.Table) {
+	const nodes, rps = 6, 20
+	var rows []AblationRow
+	for i, mech := range []string{simsrv.ReassignRedirect, simsrv.ReassignForward} {
+		st, pick := adlStore(nodes, o.Seed+17)
+		cfg := simsrv.MeikoConfig(nodes, st)
+		cfg.Policy = simsrv.PolicySWEB
+		cfg.Reassign = mech
+		cfg.ClientTimeout = 600 * des.Second
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		res := mustRun(cfg, burst, pick, nil, o.Seed+1100+int64(i))
+		rows = append(rows, rowFrom("reassign="+mech, res))
+	}
+	return rows, ablationTable(
+		"Architecture: URL redirection vs request forwarding (Sec. 3.1), 20 rps",
+		"The paper chose redirection for browser compatibility; forwarding also pays "+
+			"double handling and a second interconnect crossing per byte.", rows)
+}
+
+// CentralRow is one cell of the centralized-vs-distributed comparison.
+type CentralRow struct {
+	Arch         string
+	RPS          int
+	MeanResponse float64
+	DropRate     float64
+	// DispatcherCPUShare is the fraction of the dispatcher node's CPU
+	// consumed (centralized only).
+	DispatcherBusy float64
+}
+
+// Centralized builds the architecture Section 3.1 rejects — one central
+// distributor every request flows through — and sweeps the offered load
+// against the distributed scheduler on identical worker hardware. Two
+// effects should appear: the dispatcher's CPU saturates first, and killing
+// it (the single point of failure) takes the whole service down, while the
+// distributed cluster only loses the dead node's DNS share.
+func Centralized(o Options) ([]CentralRow, *stats.Table) {
+	const workers = 6
+	rpsSweep := []int{8, 16, 24, 32}
+	if o.Quick {
+		rpsSweep = []int{16, 32}
+	}
+	var rows []CentralRow
+	seed := o.Seed + 1200
+
+	for _, rps := range rpsSweep {
+		// Distributed: 6 nodes, every one a server (the SWEB design).
+		seed++
+		stD, paths := uniformStore(workers, fileCount(SmallFile), SmallFile)
+		cfgD := simsrv.MeikoConfig(workers, stD)
+		cfgD.Policy = simsrv.PolicySWEB
+		cfgD.ClientTimeout = 600 * des.Second
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		resD := mustRun(cfgD, burst, workload.UniformPicker(paths), nil, seed)
+		rows = append(rows, CentralRow{
+			Arch: "distributed", RPS: rps,
+			MeanResponse: resD.MeanResponse(), DropRate: resD.DropRate(),
+		})
+
+		// Centralized: the SAME 6 workers plus a dedicated dispatcher in
+		// front (7 nodes of hardware — it still loses).
+		seed++
+		stC, cpaths := centralStore(workers)
+		cfgC := simsrv.MeikoConfig(workers+1, stC)
+		cfgC.Policy = simsrv.PolicySWEB
+		cfgC.Dispatcher = true
+		cfgC.ClientTimeout = 600 * des.Second
+		cl, err := simsrv.New(cfgC)
+		if err != nil {
+			panic(err)
+		}
+		arrivals, err := burst.Generate(workload.UniformPicker(cpaths), nil, newRand(seed*13))
+		if err != nil {
+			panic(err)
+		}
+		resC := cl.RunSchedule(arrivals)
+		busy := 0.0
+		if span := cl.Makespan().ToSeconds(); span > 0 {
+			busy = cl.Node(0).CPU.BusyTime().ToSeconds() / span
+		}
+		rows = append(rows, CentralRow{
+			Arch: "centralized", RPS: rps,
+			MeanResponse:   resC.MeanResponse(),
+			DropRate:       resC.DropRate(),
+			DispatcherBusy: busy,
+		})
+	}
+
+	tbl := &stats.Table{
+		Title:  "Architecture: distributed scheduler vs central dispatcher (Sec. 3.1)",
+		Header: []string{"rps", "architecture", "response", "drop rate", "dispatcher busy"},
+		Caption: "Every request crosses the single distributor; its CPU saturates while the " +
+			"distributed design spreads the preprocessing. It is also a single point of failure.",
+	}
+	for _, r := range rows {
+		busy := "-"
+		if r.Arch == "centralized" {
+			busy = stats.FormatPercent(r.DispatcherBusy)
+		}
+		tbl.AddRowStrings(fmt.Sprintf("%d", r.RPS), r.Arch,
+			stats.FormatSeconds(r.MeanResponse), stats.FormatPercent(r.DropRate), busy)
+	}
+	return rows, tbl
+}
+
+// centralStore lays out the corpus on workers 1..n, leaving the dispatcher
+// (node 0) without documents.
+func centralStore(workers int) (*storage.Store, []string) {
+	st := storage.NewStore(workers + 1)
+	var paths []string
+	for i := 0; i < fileCount(SmallFile); i++ {
+		p := fmt.Sprintf("/docs/c%06d.dat", i)
+		st.MustAdd(storage.File{Path: p, Size: SmallFile, Owner: 1 + i%workers})
+		paths = append(paths, p)
+	}
+	return st, paths
+}
+
+// CentralSPOF kills the scheduler's critical node mid-run in both
+// architectures: the distributed cluster keeps serving 5/6 of its traffic;
+// the centralized one flatlines.
+func CentralSPOF(o Options) ([]CentralRow, *stats.Table) {
+	const workers, rps = 6, 12
+	dur := o.burstDur()
+	var rows []CentralRow
+
+	// Distributed: node 0 dies at dur/3.
+	stD, paths := uniformStore(workers, fileCount(SmallFile), SmallFile)
+	cfgD := simsrv.MeikoConfig(workers, stD)
+	cfgD.Policy = simsrv.PolicySWEB
+	cfgD.Seed = o.Seed + 1300
+	clD, err := simsrv.New(cfgD)
+	if err != nil {
+		panic(err)
+	}
+	clD.FailNodeAt(des.Time(dur/3)*des.Second, 0)
+	burst := workload.Burst{RPS: rps, DurationSeconds: dur, Jitter: true}
+	arrD, _ := burst.Generate(workload.UniformPicker(paths), nil, newRand(o.Seed+1301))
+	resD := clD.RunSchedule(arrD)
+	rows = append(rows, CentralRow{Arch: "distributed, node dies", RPS: rps,
+		MeanResponse: resD.MeanResponse(), DropRate: resD.DropRate()})
+
+	// Centralized: the dispatcher dies at dur/3.
+	stC, cpaths := centralStore(workers)
+	cfgC := simsrv.MeikoConfig(workers+1, stC)
+	cfgC.Policy = simsrv.PolicySWEB
+	cfgC.Dispatcher = true
+	cfgC.Seed = o.Seed + 1302
+	clC, err := simsrv.New(cfgC)
+	if err != nil {
+		panic(err)
+	}
+	clC.FailNodeAt(des.Time(dur/3)*des.Second, 0)
+	arrC, _ := burst.Generate(workload.UniformPicker(cpaths), nil, newRand(o.Seed+1303))
+	resC := clC.RunSchedule(arrC)
+	rows = append(rows, CentralRow{Arch: "centralized, dispatcher dies", RPS: rps,
+		MeanResponse: resC.MeanResponse(), DropRate: resC.DropRate()})
+
+	tbl := &stats.Table{
+		Title:  "Single point of failure: losing the critical node (Sec. 3.1)",
+		Header: []string{"architecture", "response", "drop rate"},
+		Caption: "\"The single central distributor becomes a single point of failure, making " +
+			"the entire system more vulnerable.\"",
+	}
+	for _, r := range rows {
+		tbl.AddRowStrings(r.Arch, stats.FormatSeconds(r.MeanResponse), stats.FormatPercent(r.DropRate))
+	}
+	return rows, tbl
+}
+
+// GossipLoss measures loadd's robustness to dropped datagrams: even heavy
+// UDP loss only staleness-degrades the tables, because every broadcast is a
+// full state refresh.
+func GossipLoss(o Options) ([]AblationRow, *stats.Table) {
+	const nodes, rps = 6, 20
+	var rows []AblationRow
+	for i, loss := range []float64{0, 0.3, 0.7} {
+		st, pick := adlStore(nodes, o.Seed+17)
+		cfg := simsrv.MeikoConfig(nodes, st)
+		cfg.Policy = simsrv.PolicySWEB
+		cfg.LoaddLossRate = loss
+		cfg.ClientTimeout = 600 * des.Second
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		res := mustRun(cfg, burst, pick, nil, o.Seed+1400+int64(i))
+		rows = append(rows, rowFrom(fmt.Sprintf("loss=%.0f%%", loss*100), res))
+	}
+	return rows, ablationTable(
+		"Gossip robustness: loadd datagram loss, 20 rps non-uniform load",
+		"Lost broadcasts only make tables staler; the Δ bump and the loadd timeout absorb it.", rows)
+}
+
+// CoopCache measures the cooperative-caching extension: with cache-hint
+// gossip on, a broker can route a hot document to ANY peer whose memory
+// holds it, instead of choosing between its own disk path and the owner.
+// The workload is a Zipf-popular ADL corpus, where the head documents end
+// up cached on several nodes.
+func CoopCache(o Options) ([]AblationRow, *stats.Table) {
+	const nodes, rps = 6, 14
+	var rows []AblationRow
+	for i, hints := range []int{0, 8} {
+		st := storage.NewStore(nodes)
+		paths := storage.UniformSet(st, 36, LargeFile)
+		cfg := simsrv.MeikoConfig(nodes, st)
+		cfg.Policy = simsrv.PolicySWEB
+		cfg.CacheHints = hints
+		cfg.ClientTimeout = 600 * des.Second
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		pick := workload.ZipfPicker(paths, 1.2, newRand(o.Seed+1700))
+		res := mustRun(cfg, burst, pick, nil, o.Seed+1701+int64(i))
+		label := "hints off"
+		if hints > 0 {
+			label = fmt.Sprintf("hints top-%d", hints)
+		}
+		rows = append(rows, rowFrom(label, res))
+	}
+	return rows, ablationTable(
+		"Extension: cooperative cache-hint gossip, Zipf-popular 1.5M corpus, 14 rps",
+		"With the digest, brokers see which peers hold the hot documents in memory "+
+			"and spread them; without it, remote candidates are assumed disk-bound.", rows)
+}
+
+// EastCoast reproduces the Rutgers experiment (Sec. 4.2): clients on the
+// other side of the country fetch from the Ethernet-linked NOW, "in spite
+// of the poor bandwidth and long latency over the connection from the east
+// coast to the west coast", file locality still gains over 10% versus
+// round robin, because every NFS crossing of the shared segment is pure
+// waste regardless of how slow the client is.
+func EastCoast(o Options) ([]PolicyRow, *stats.Table) {
+	const nodes, rps = 4, 4
+	var rows []PolicyRow
+	seed := o.Seed + 1800
+	for _, pol := range comparedPolicies {
+		seed++
+		st, paths := uniformStore(nodes, 16, LargeFile)
+		cfg := simsrv.NOWConfig(nodes, st)
+		cfg.Policy = pol.key
+		cfg.Client = netsim.CrossCountryClient()
+		cfg.ClientTimeout = 900 * des.Second
+		burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+		res := mustRun(cfg, burst, workload.UniformPicker(paths), nil, seed)
+		rows = append(rows, PolicyRow{
+			Policy: pol.label, RPS: rps,
+			MeanResponse: res.MeanResponse(), DropRate: res.DropRate(),
+			Redirects: res.Redirects, Imbalance: imbalance(res.PerNodeServed),
+		})
+	}
+	return rows, policyTable(rows,
+		"East-coast clients (Rutgers, Sec. 4.2): 1.5M files over the NOW Ethernet, 4 rps",
+		"Paper anchor: >10% gain for file locality over round robin despite the poor "+
+			"cross-country bandwidth and latency.")
+}

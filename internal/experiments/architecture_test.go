@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestForwardingShapes(t *testing.T) {
+	rows, tbl := Forwarding(quick)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var redirect, forward AblationRow
+	for _, r := range rows {
+		if strings.HasSuffix(r.Variant, "redirect") {
+			redirect = r
+		} else {
+			forward = r
+		}
+	}
+	// Both mechanisms must serve everything; they reassign comparably.
+	if redirect.DropRate > 0.02 || forward.DropRate > 0.02 {
+		t.Fatalf("drops: redirect %.1f%% forward %.1f%%",
+			redirect.DropRate*100, forward.DropRate*100)
+	}
+	if redirect.Redirects == 0 || forward.Redirects == 0 {
+		t.Fatal("a mechanism never reassigned")
+	}
+	// Neither collapses: both stay within 2x of the other.
+	if forward.MeanResponse > 2*redirect.MeanResponse ||
+		redirect.MeanResponse > 2*forward.MeanResponse {
+		t.Fatalf("mechanisms diverged: redirect %.2fs forward %.2fs",
+			redirect.MeanResponse, forward.MeanResponse)
+	}
+	if !strings.Contains(tbl.String(), "forward") {
+		t.Fatal("table missing rows")
+	}
+}
+
+func TestCentralizedShapes(t *testing.T) {
+	rows, _ := Centralized(quick)
+	get := func(arch string, rps int) CentralRow {
+		for _, r := range rows {
+			if r.Arch == arch && r.RPS == rps {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%d", arch, rps)
+		return CentralRow{}
+	}
+	loRPS, hiRPS := 16, 32
+	// At high load the dispatcher is the bottleneck.
+	distHi, centHi := get("distributed", hiRPS), get("centralized", hiRPS)
+	if centHi.MeanResponse <= distHi.MeanResponse {
+		t.Fatalf("central dispatcher did not bottleneck: %.2fs vs %.2fs",
+			centHi.MeanResponse, distHi.MeanResponse)
+	}
+	// The dispatcher's CPU climbs with load.
+	centLo := get("centralized", loRPS)
+	if centHi.DispatcherBusy <= centLo.DispatcherBusy {
+		t.Fatalf("dispatcher busy did not grow: %.2f -> %.2f",
+			centLo.DispatcherBusy, centHi.DispatcherBusy)
+	}
+}
+
+func TestCentralSPOFShapes(t *testing.T) {
+	rows, _ := CentralSPOF(quick)
+	var dist, cent CentralRow
+	for _, r := range rows {
+		if strings.HasPrefix(r.Arch, "distributed") {
+			dist = r
+		} else {
+			cent = r
+		}
+	}
+	// Distributed loses roughly the dead node's DNS share (~1/6 of the
+	// remaining traffic); the centralized service loses everything after
+	// the dispatcher dies (~2/3 of the run).
+	if dist.DropRate > 0.25 {
+		t.Fatalf("distributed drop rate %.1f%%", dist.DropRate*100)
+	}
+	if cent.DropRate < 2*dist.DropRate {
+		t.Fatalf("SPOF not visible: centralized %.1f%% vs distributed %.1f%%",
+			cent.DropRate*100, dist.DropRate*100)
+	}
+}
+
+func TestGossipLossShapes(t *testing.T) {
+	rows, _ := GossipLoss(quick)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DropRate > 0.02 {
+			t.Fatalf("%s dropped %.1f%%: gossip loss must not drop requests",
+				r.Variant, r.DropRate*100)
+		}
+	}
+	// Heavy loss degrades gracefully: within 2x of lossless.
+	if rows[2].MeanResponse > 2*rows[0].MeanResponse {
+		t.Fatalf("70%% loss degraded response %.2fs vs %.2fs",
+			rows[2].MeanResponse, rows[0].MeanResponse)
+	}
+}
+
+func TestScalabilityCurveShapes(t *testing.T) {
+	points, _ := ScalabilityCurve(quick)
+	get := func(nodes, rps int) CurvePoint {
+		for _, p := range points {
+			if p.Nodes == nodes && p.RPS == rps {
+				return p
+			}
+		}
+		t.Fatalf("missing %d/%d", nodes, rps)
+		return CurvePoint{}
+	}
+	// Response is non-decreasing in offered load for a fixed size...
+	if get(1, 4).MeanResponse > get(1, 24).MeanResponse {
+		t.Fatal("single-node curve not increasing")
+	}
+	// ...and the big cluster is far better at the heavy point.
+	if get(4, 24).MeanResponse >= get(1, 24).MeanResponse {
+		t.Fatal("scaling does not move the knee")
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	series, tbl := Throughput(quick)
+	if series.Len() == 0 {
+		t.Fatal("empty series")
+	}
+	var total float64
+	for _, b := range series.Buckets() {
+		total += b
+	}
+	if total < 400 { // 16 rps * 30s minus drops
+		t.Fatalf("series total = %v", total)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "completions") || !strings.Contains(out, "#") {
+		t.Fatalf("throughput table incomplete:\n%s", out)
+	}
+}
+
+func TestCoopCacheShapes(t *testing.T) {
+	rows, _ := CoopCache(quick)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	off, on := rows[0], rows[1]
+	if off.DropRate > 0.02 || on.DropRate > 0.02 {
+		t.Fatal("drops in coop-cache runs")
+	}
+	// The digest must help on the Zipf workload.
+	if on.MeanResponse >= off.MeanResponse {
+		t.Fatalf("hints did not help: on %.2fs vs off %.2fs", on.MeanResponse, off.MeanResponse)
+	}
+}
+
+func TestEastCoastShapes(t *testing.T) {
+	rows, _ := EastCoast(quick)
+	var rr, fl float64
+	for _, r := range rows {
+		switch r.Policy {
+		case "Round Robin":
+			rr = r.MeanResponse
+		case "File Locality":
+			fl = r.MeanResponse
+		}
+	}
+	// Paper: >10% gain for locality even with east-coast clients.
+	if fl >= rr*0.9 {
+		t.Fatalf("locality gain missing: FL %.2fs vs RR %.2fs", fl, rr)
+	}
+}

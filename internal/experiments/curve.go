@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sweb/internal/des"
+	"sweb/internal/simsrv"
+	"sweb/internal/stats"
+	"sweb/internal/workload"
+)
+
+// CurvePoint is one point of the scalability curve: mean response time and
+// drop rate at a given offered load and cluster size.
+type CurvePoint struct {
+	Nodes        int
+	RPS          int
+	MeanResponse float64
+	P95Response  float64
+	DropRate     float64
+}
+
+// ScalabilityCurve sweeps the offered rate for 1-, 2-, 4-, and 6-node
+// Meiko clusters at the 1.5 MB file size — the response-time-vs-load curve
+// behind Tables 1 and 2. The knee of each curve should move right roughly
+// in proportion to the node count, with the single-node knee near the
+// NCSA-class limit.
+func ScalabilityCurve(o Options) ([]CurvePoint, *stats.Table) {
+	nodeCounts := []int{1, 2, 4, 6}
+	rpsSweep := []int{2, 4, 8, 12, 16, 24}
+	if o.Quick {
+		nodeCounts = []int{1, 4}
+		rpsSweep = []int{4, 12, 24}
+	}
+	var points []CurvePoint
+	seed := o.Seed + 1500
+	for _, nodes := range nodeCounts {
+		for _, rps := range rpsSweep {
+			seed++
+			st, paths := uniformStore(nodes, fileCount(LargeFile), LargeFile)
+			cfg := simsrv.MeikoConfig(nodes, st)
+			cfg.Policy = simsrv.PolicySWEB
+			cfg.ClientTimeout = 600 * des.Second
+			burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+			res := mustRun(cfg, burst, workload.UniformPicker(paths), nil, seed)
+			points = append(points, CurvePoint{
+				Nodes: nodes, RPS: rps,
+				MeanResponse: res.MeanResponse(),
+				P95Response:  res.Response.Quantile(0.95),
+				DropRate:     res.DropRate(),
+			})
+		}
+	}
+	tbl := &stats.Table{
+		Title:  "Scalability curve: mean response vs offered rps, 1.5M files, SWEB",
+		Header: []string{"nodes", "rps", "response", "p95", "drop rate"},
+		Caption: "The knee of each curve moves right with the node count — the paper's " +
+			"scalability definition (\"response time ... kept as small as theoretically " +
+			"possible when the number of simultaneous HTTP requests increases\").",
+	}
+	for _, p := range points {
+		tbl.AddRowStrings(fmt.Sprintf("%d", p.Nodes), fmt.Sprintf("%d", p.RPS),
+			stats.FormatSeconds(p.MeanResponse), stats.FormatSeconds(p.P95Response),
+			stats.FormatPercent(p.DropRate))
+	}
+	return points, tbl
+}
+
+// Throughput runs one loaded burst and renders the per-second completion
+// series plus the response-time histogram — the "figure" views the paper's
+// prose describes but never plots.
+func Throughput(o Options) (*stats.TimeSeries, *stats.Table) {
+	const nodes, rps = 6, 16
+	st, paths := uniformStore(nodes, fileCount(LargeFile), LargeFile)
+	cfg := simsrv.MeikoConfig(nodes, st)
+	cfg.Policy = simsrv.PolicySWEB
+	cfg.ClientTimeout = 600 * des.Second
+	cfg.Seed = o.Seed + 1600
+	cl, err := simsrv.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	burst := workload.Burst{RPS: rps, DurationSeconds: o.burstDur(), Jitter: true}
+	arrivals, err := burst.Generate(workload.UniformPicker(paths), nil, newRand(o.Seed+1601))
+	if err != nil {
+		panic(err)
+	}
+	res := cl.RunSchedule(arrivals)
+
+	// Reconstruct the completion time series from the response samples:
+	// completion time = arrival second + response. Arrival seconds are
+	// uniform by construction, so approximate with the response summary's
+	// own samples spread over the burst.
+	var series stats.TimeSeries
+	for i, resp := range responseSamples(res) {
+		at := float64(i%o.burstDur()) + resp
+		series.Add(at, 1)
+	}
+	tbl := &stats.Table{
+		Title:  "Throughput over time: completions/second, 16 rps, 1.5M, 6-node Meiko",
+		Header: []string{"metric", "value"},
+	}
+	tbl.AddRowStrings("completions", fmt.Sprintf("%d", res.Completed))
+	tbl.AddRowStrings("peak rps", fmt.Sprintf("%.0f", series.Peak()))
+	tbl.AddRowStrings("mean rps", fmt.Sprintf("%.1f", series.Mean()))
+	tbl.AddRowStrings("series", series.RenderSparkline())
+	tbl.Caption = "Response-time distribution:\n" + stats.RenderHistogram(&res.Response, 12, "s")
+	return &series, tbl
+}
+
+// responseSamples extracts the raw per-request response times in
+// completion-record order.
+func responseSamples(res *stats.RunResult) []float64 {
+	return res.Response.Values()
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests run the quick-mode experiment harnesses and assert the
+// paper's qualitative results — the shapes EXPERIMENTS.md documents.
+
+var quick = Options{Quick: true, Seed: 1}
+
+func TestTable1Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 searches are slow")
+	}
+	rows, tbl := Table1(quick)
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if tbl.Rows() != 16 {
+		t.Fatal("table rows mismatch")
+	}
+	get := func(machine, server string, size int64, dur int) int {
+		for _, r := range rows {
+			if r.Machine == machine && r.Server == server && r.FileSize == size && r.Duration == dur {
+				return r.MaxRPS
+			}
+		}
+		t.Fatalf("missing cell %s/%s/%d/%d", machine, server, size, dur)
+		return 0
+	}
+	burst, sustained := quick.burstDur(), quick.sustainedDur()
+	// The multi-node server beats the single server everywhere except the
+	// bus-bound NOW sustained 1.5M cell, where the shared Ethernet caps
+	// both at ~1 rps (the paper's own "maximum disk and Ethernet
+	// bandwidth limit is reached").
+	for _, machine := range []string{"Meiko", "NOW"} {
+		for _, size := range []int64{SmallFile, LargeFile} {
+			for _, dur := range []int{burst, sustained} {
+				single, multi := get(machine, "Single server", size, dur), get(machine, "SWEB", size, dur)
+				busBound := machine == "NOW" && size == LargeFile && dur == sustained
+				if busBound {
+					if multi < single {
+						t.Errorf("NOW sustained 1.5M: SWEB %d below single %d", multi, single)
+					}
+					continue
+				}
+				if multi <= single {
+					t.Errorf("%s %s %ds: SWEB (%d) did not beat single server (%d)",
+						machine, sizeLabel(size), dur, multi, single)
+				}
+			}
+		}
+	}
+	// Bursts queue, so the burst max is at least the sustained max.
+	if get("Meiko", "SWEB", LargeFile, burst) < get("Meiko", "SWEB", LargeFile, sustained) {
+		t.Error("Meiko burst max below sustained max")
+	}
+	// The NOW's shared Ethernet collapses sustained 1.5M throughput.
+	if now := get("NOW", "SWEB", LargeFile, sustained); now > 4 {
+		t.Errorf("NOW sustained 1.5M = %d, paper says ~1", now)
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	rows, tbl := Table2(quick)
+	if len(rows) != 20 || tbl.Rows() != 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(machine string, size int64, nodes int) Table2Row {
+		for _, r := range rows {
+			if r.Machine == machine && r.FileSize == size && r.Nodes == nodes {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%d/%d", machine, size, nodes)
+		return Table2Row{}
+	}
+	// 1K: response roughly flat for 2+ nodes, no drops.
+	for n := 2; n <= 6; n++ {
+		r := get("Meiko", SmallFile, n)
+		if r.DropRate > 0 {
+			t.Errorf("Meiko 1K %d nodes dropped %.1f%%", n, r.DropRate*100)
+		}
+	}
+	// 1.5M: single node melts (the paper's 37.3%-drop row), six nodes don't.
+	single := get("Meiko", LargeFile, 1)
+	six := get("Meiko", LargeFile, 6)
+	if single.DropRate < 0.1 {
+		t.Errorf("single Meiko node at 16rps/1.5M dropped only %.1f%%", single.DropRate*100)
+	}
+	if six.DropRate > 0.01 {
+		t.Errorf("six Meiko nodes dropped %.1f%%", six.DropRate*100)
+	}
+	if six.MeanResponse >= single.MeanResponse {
+		t.Error("adding nodes did not reduce 1.5M response time")
+	}
+	// NOW 1.5M: more nodes -> fewer refusals (paper: 20.5% at 2, 0% at 3-4).
+	if get("NOW", LargeFile, 4).DropRate > get("NOW", LargeFile, 1).DropRate {
+		t.Error("NOW drops grew with nodes")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	rows, _ := Table3(quick)
+	byPolicy := func(rps int) map[string]float64 {
+		out := map[string]float64{}
+		for _, r := range rows {
+			if r.RPS == rps {
+				out[r.Policy] = r.MeanResponse
+			}
+		}
+		return out
+	}
+	heavy := byPolicy(24)
+	if len(heavy) != 3 {
+		t.Fatalf("policies at 24 rps: %v", heavy)
+	}
+	// Paper: at heavy load SWEB leads round robin by 15-60%.
+	if heavy["SWEB"] >= heavy["Round Robin"] {
+		t.Errorf("SWEB %.2fs did not beat RR %.2fs under heavy non-uniform load",
+			heavy["SWEB"], heavy["Round Robin"])
+	}
+	// Drop-free runs (paper reports 0% drop rate for this table).
+	for _, r := range rows {
+		if r.DropRate > 0.02 {
+			t.Errorf("%s at %d rps dropped %.1f%%", r.Policy, r.RPS, r.DropRate*100)
+		}
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	rows, _ := Table4(quick)
+	for _, rps := range []int{2, 4} {
+		var rr, fl float64
+		for _, r := range rows {
+			if r.RPS != rps {
+				continue
+			}
+			switch r.Policy {
+			case "Round Robin":
+				rr = r.MeanResponse
+			case "File Locality":
+				fl = r.MeanResponse
+			}
+		}
+		// Paper: on the bus-type Ethernet, exploiting file locality wins.
+		if fl >= rr {
+			t.Errorf("at %d rps on the NOW, FL %.1fs did not beat RR %.1fs", rps, fl, rr)
+		}
+	}
+}
+
+func TestSkewedShapes(t *testing.T) {
+	rows, _ := Skewed(quick)
+	var rr, fl, sweb PolicyRow
+	for _, r := range rows {
+		switch r.Policy {
+		case "Round Robin":
+			rr = r
+		case "File Locality":
+			fl = r
+		case "SWEB":
+			sweb = r
+		}
+	}
+	// Paper: "round-robin handily outperforms file locality, 3.7s vs 81.4s".
+	if fl.MeanResponse < 5*rr.MeanResponse {
+		t.Errorf("FL %.1fs vs RR %.1fs: collapse factor too small", fl.MeanResponse, rr.MeanResponse)
+	}
+	if sweb.MeanResponse > 3*rr.MeanResponse {
+		t.Errorf("SWEB %.1fs did not track RR %.1fs", sweb.MeanResponse, rr.MeanResponse)
+	}
+	if fl.Imbalance < 1 {
+		t.Errorf("FL imbalance %.2f: everything should pile on node 0", fl.Imbalance)
+	}
+}
+
+func TestTable5Shapes(t *testing.T) {
+	res, tbl := Table5(quick)
+	if res.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	// The SWEB-introduced costs are a negligible slice of the total.
+	overhead := res.Analysis + res.Redirect
+	if overhead > 0.05*res.Total {
+		t.Errorf("scheduling overhead %.3fs vs total %.3fs", overhead, res.Total)
+	}
+	// Data transfer dominates for 1.5 MB fetches.
+	if res.Transfer < 0.5*res.Total {
+		t.Errorf("transfer %.2fs not dominant in %.2fs", res.Transfer, res.Total)
+	}
+	if !strings.Contains(tbl.String(), "Preprocessing") {
+		t.Fatal("table missing rows")
+	}
+}
+
+func TestOverheadShapes(t *testing.T) {
+	res, _ := Overhead(quick)
+	sched, loadd := res.Shares["schedule"], res.Shares["loadd"]
+	if sched <= 0 || loadd <= 0 {
+		t.Fatalf("missing shares: %v", res.Shares)
+	}
+	// Paper's headline: the scheduling machinery is a tiny CPU fraction.
+	if sched > 0.03 || loadd > 0.02 {
+		t.Errorf("overhead too large: schedule=%.3f%% loadd=%.3f%%", sched*100, loadd*100)
+	}
+	if res.Shares["parse"] < sched {
+		t.Error("parsing should dwarf scheduling")
+	}
+}
+
+func TestAnalyticShapes(t *testing.T) {
+	rows, _ := Analytic(quick)
+	if rows[0].Predicted < 17 || rows[0].Predicted > 17.6 {
+		t.Fatalf("Meiko analytic = %.1f, paper says 17.3", rows[0].Predicted)
+	}
+	// The sweep rows grow with p.
+	var prev float64
+	for _, r := range rows[2:] {
+		if r.Predicted <= prev {
+			t.Fatalf("analytic sweep not increasing: %+v", rows)
+		}
+		prev = r.Predicted
+	}
+}
+
+func TestAblationDeltaShapes(t *testing.T) {
+	rows, _ := AblationDelta(quick)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The bump must not hurt; typically it helps under stale info.
+	if rows[0].MeanResponse > 1.3*rows[1].MeanResponse {
+		t.Errorf("delta=30%% (%.2fs) much worse than delta=0 (%.2fs)",
+			rows[0].MeanResponse, rows[1].MeanResponse)
+	}
+}
+
+func TestAblationDNSCacheShapes(t *testing.T) {
+	rows, _ := AblationDNSCache(quick)
+	var pureRR, cachedRR, cachedSWEB AblationRow
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r.Variant, "no caching"):
+			pureRR = r
+		case strings.HasSuffix(r.Variant, "RR"):
+			cachedRR = r
+		default:
+			cachedSWEB = r
+		}
+	}
+	if cachedRR.MeanResponse <= pureRR.MeanResponse {
+		t.Error("DNS caching should hurt plain round robin")
+	}
+	if cachedSWEB.MeanResponse >= cachedRR.MeanResponse {
+		t.Error("SWEB should absorb the DNS-cache skew")
+	}
+	if cachedSWEB.Imbalance >= cachedRR.Imbalance {
+		t.Error("SWEB should spread the funneled load")
+	}
+}
+
+func TestAblationFacetsShapes(t *testing.T) {
+	rows, _ := AblationFacets(quick)
+	var multi, cpuOnly float64
+	for _, r := range rows {
+		switch r.Variant {
+		case "multi-faceted (SWEB)":
+			multi = r.MeanResponse
+		case "single-faceted (CPU-only)":
+			cpuOnly = r.MeanResponse
+		}
+	}
+	if multi >= cpuOnly {
+		t.Errorf("multi-faceted %.2fs did not beat CPU-only %.2fs", multi, cpuOnly)
+	}
+}
+
+func TestAblationPingPongShapes(t *testing.T) {
+	rows, _ := AblationPingPong(quick)
+	var one, zero float64
+	for _, r := range rows {
+		switch r.Variant {
+		case "max redirects=1":
+			one = r.MeanResponse
+		case "max redirects=0":
+			zero = r.MeanResponse
+		}
+	}
+	if one >= zero {
+		t.Errorf("re-scheduling (%.2fs) did not beat no-redirects (%.2fs)", one, zero)
+	}
+}
+
+func TestHeterogeneousShapes(t *testing.T) {
+	rows, _ := Heterogeneous(quick)
+	var rr, sweb AblationRow
+	for _, r := range rows {
+		if r.Variant == "Round Robin" {
+			rr = r
+		} else {
+			sweb = r
+		}
+	}
+	if sweb.MeanResponse >= rr.MeanResponse {
+		t.Errorf("SWEB %.2fs did not beat RR %.2fs under churn+heterogeneity",
+			sweb.MeanResponse, rr.MeanResponse)
+	}
+	if sweb.Redirects == 0 {
+		t.Error("SWEB never re-scheduled")
+	}
+}
+
+func TestImbalanceHelper(t *testing.T) {
+	if imbalance(nil) != 0 {
+		t.Fatal("nil")
+	}
+	if imbalance([]int64{5, 5, 5}) != 0 {
+		t.Fatal("even spread should be 0")
+	}
+	if imbalance([]int64{0, 0, 0}) != 0 {
+		t.Fatal("all-zero should be 0")
+	}
+	if imbalance([]int64{30, 0, 0}) < 1 {
+		t.Fatal("total skew should exceed 1")
+	}
+}

@@ -1,0 +1,360 @@
+package httpd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"sweb/internal/accesslog"
+	"sweb/internal/core"
+	"sweb/internal/httpmsg"
+	"sweb/internal/storage"
+)
+
+// Markers the live protocol uses:
+//   - the "swebr" query parameter counts redirects ("any HTTP request is
+//     not allowed to be redirected more than once"); URL redirection has to
+//     carry this in the URL because a 302 cannot set request headers;
+//   - the X-SWEB-Internal header marks a node-to-node fetch (the NFS
+//     stand-in), which must be served directly, never re-scheduled.
+const (
+	redirectParam  = "swebr"
+	internalHeader = "X-Sweb-Internal"
+)
+
+const connTimeout = 30 * time.Second
+
+// acceptLoop is the NCSA-style accept loop; each connection gets its own
+// handler goroutine (Go's stand-in for fork-per-request).
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		if s.inflight.Load() >= int64(s.cfg.MaxConcurrent) {
+			// Accept capacity exhausted: shed the connection, the live
+			// analogue of a dropped request.
+			s.refused.Add(1)
+			_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, nil,
+				httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "Server too busy."))
+			conn.Close()
+			continue
+		}
+		s.accepted.Add(1)
+		s.inflight.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.inflight.Add(-1)
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(connTimeout))
+			s.handle(conn)
+		}()
+	}
+}
+
+// logAccess emits one Common Log Format line, when logging is configured.
+func (s *Server) logAccess(conn net.Conn, req *httpmsg.Request, status int, bytes int64) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	host := "-"
+	if addr := conn.RemoteAddr(); addr != nil {
+		host = addr.String()
+		if h, _, err := net.SplitHostPort(host); err == nil {
+			host = h
+		}
+	}
+	e := accesslog.Entry{
+		Host: host, Time: time.Now(),
+		Method: "-", Path: "-", Proto: "HTTP/1.0",
+		Status: status, Bytes: bytes,
+	}
+	if req != nil {
+		e.Method = req.Method
+		e.Path = req.Path
+		if req.Query != "" {
+			e.Path += "?" + req.Query
+		}
+		if req.Proto != "" {
+			e.Proto = req.Proto
+		}
+	}
+	_ = s.cfg.AccessLog.Log(e)
+}
+
+// handle runs the four-phase lifecycle for one connection.
+func (s *Server) handle(conn net.Conn) {
+	br := bufio.NewReader(conn)
+
+	// Phase 1: preprocess — parse the HTTP commands and complete the path.
+	req, err := httpmsg.ReadRequest(br)
+	if err != nil {
+		s.errors.Add(1)
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusBadRequest, nil,
+			httpmsg.ErrorBody(httpmsg.StatusBadRequest, err.Error()))
+		s.logAccess(conn, nil, httpmsg.StatusBadRequest, -1)
+		return
+	}
+	redirects := parseRedirectCount(req.Query)
+	internal := req.Header.Get(internalHeader) != ""
+
+	cgiFn, isCGI := s.cgiFor(req.Path)
+	file, found := s.cfg.Store.Lookup(req.Path)
+	if !found && !isCGI {
+		s.errors.Add(1)
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusNotFound, nil,
+			httpmsg.ErrorBody(httpmsg.StatusNotFound, "The requested URL was not found on this server."))
+		s.logAccess(conn, req, httpmsg.StatusNotFound, -1)
+		return
+	}
+
+	// Internal fetches bypass scheduling entirely: we are the NFS server.
+	if internal {
+		s.internalFetch.Add(1)
+		s.serveLocalFile(conn, req, file)
+		return
+	}
+
+	// CGI and POST are pinned where they arrived (Sec. 3.2 step 2; POST
+	// handling is the paper's footnote-1 extension).
+	pinned := isCGI || req.Method == "POST"
+
+	// Phase 2: analyze — the broker picks the best node.
+	if !pinned {
+		d := s.cfg.Oracle.Characterize(req.Path)
+		coreReq := core.Request{
+			Path:          req.Path,
+			Size:          file.Size,
+			Owner:         file.Owner,
+			Ops:           d.Ops(file.Size) + file.CGIOps,
+			DiskBytes:     d.DiskBytes(file.Size),
+			Arrived:       s.cfg.ID,
+			RedirectCount: redirects,
+			CachedLocal:   s.ownsLocally(file),
+		}
+		loads := s.snapshotLoads()
+		dec := s.cfg.Policy.Choose(coreReq, s.cfg.ID, loads)
+		if dec.Target != s.cfg.ID {
+			if peer, ok := s.peerByID(dec.Target); ok {
+				// Phase 3: redirect via a 302 with the bumped URL.
+				s.table.Bump(dec.Target)
+				s.redirected.Add(1)
+				loc := fmt.Sprintf("http://%s%s?%s=%d", peer.HTTPAddr, req.Path, redirectParam, redirects+1)
+				h := httpmsg.Header{}
+				h.Set("Location", loc)
+				_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusMovedTemporarily, h,
+					httpmsg.ErrorBody(httpmsg.StatusMovedTemporarily,
+						`The document has moved <A HREF="`+loc+`">here</A>.`))
+				s.logAccess(conn, req, httpmsg.StatusMovedTemporarily, -1)
+				return
+			}
+		}
+	}
+
+	// Phase 4: fulfillment.
+	switch {
+	case isCGI:
+		s.serveCGI(conn, req, cgiFn)
+	case file.Owner == s.cfg.ID:
+		s.serveLocalFile(conn, req, file)
+	default:
+		s.serveRemoteFile(conn, req, file)
+	}
+}
+
+// ownsLocally reports whether the document can be read from this node's
+// own docroot (it owns the file). The live substrate has no page-cache
+// model; ownership is the locality signal the broker's CachedLocal input
+// carries.
+func (s *Server) ownsLocally(file storage.File) bool {
+	return file.Owner == s.cfg.ID
+}
+
+// snapshotLoads builds the broker's view, refreshing the self row from
+// live counters.
+func (s *Server) snapshotLoads() []core.NodeLoad {
+	s.peersMu.RLock()
+	n := 0
+	for id := range s.peers {
+		if id >= n {
+			n = id + 1
+		}
+	}
+	s.peersMu.RUnlock()
+	if self := s.cfg.ID; self >= n {
+		n = self + 1
+	}
+	loads := s.table.Snapshot(n, s.nowSec())
+	loads[s.cfg.ID] = core.NodeLoad{
+		Available:       true,
+		CPULoad:         float64(s.inflight.Load()),
+		DiskLoad:        float64(s.diskActive.Load()),
+		NetLoad:         float64(s.netActive.Load()),
+		CPUOpsPerSec:    s.cfg.CPUOpsPerSec,
+		DiskBytesPerSec: s.cfg.DiskBytesPerSec,
+		NetBytesPerSec:  s.cfg.NetBytesPerSec,
+	}
+	return loads
+}
+
+func (s *Server) peerByID(id int) (Peer, bool) {
+	s.peersMu.RLock()
+	defer s.peersMu.RUnlock()
+	p, ok := s.peers[id]
+	return p, ok
+}
+
+func parseRedirectCount(query string) int {
+	for _, kv := range strings.Split(query, "&") {
+		if v, ok := strings.CutPrefix(kv, redirectParam+"="); ok {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// localPath maps a URL path into this node's docroot.
+func (s *Server) localPath(urlPath string) string {
+	return filepath.Join(s.cfg.DocRoot, filepath.FromSlash(strings.TrimPrefix(urlPath, "/")))
+}
+
+// serveLocalFile streams a document from the node's own disk.
+func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storage.File) {
+	s.diskActive.Add(1)
+	f, err := os.Open(s.localPath(req.Path))
+	if err != nil {
+		s.diskActive.Add(-1)
+		s.errors.Add(1)
+		code := httpmsg.StatusNotFound
+		if os.IsPermission(err) {
+			code = httpmsg.StatusForbidden
+		}
+		_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, "Cannot open document."))
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		s.diskActive.Add(-1)
+		s.errors.Add(1)
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusInternalServerError, nil,
+			httpmsg.ErrorBody(httpmsg.StatusInternalServerError, "stat failed"))
+		return
+	}
+	s.diskActive.Add(-1)
+	// Conditional GET (RFC 1945 §10.9): a browser revalidating its cache
+	// sends If-Modified-Since and gets a body-less 304 if the document is
+	// unchanged — the cheapest response the 1996 server knows.
+	if httpmsg.NotModified(req.Header.Get("If-Modified-Since"), fi.ModTime()) {
+		h := httpmsg.Header{}
+		h.Set("Last-Modified", httpmsg.FormatHTTPDate(fi.ModTime()))
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusNotModified, h, nil)
+		s.served.Add(1)
+		s.logAccess(conn, req, httpmsg.StatusNotModified, -1)
+		return
+	}
+	s.streamResponse(conn, req, fi.Size(), f, fi.ModTime())
+}
+
+// serveRemoteFile fetches the document from its owner (the NFS stand-in)
+// and relays it to the client.
+func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file storage.File) {
+	peer, ok := s.peerByID(file.Owner)
+	if !ok {
+		s.errors.Add(1)
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusInternalServerError, nil,
+			httpmsg.ErrorBody(httpmsg.StatusInternalServerError, "owner unknown"))
+		return
+	}
+	s.internalFetch.Add(1)
+	s.netActive.Add(1)
+	defer s.netActive.Add(-1)
+	up, err := net.DialTimeout("tcp", peer.HTTPAddr, 5*time.Second)
+	if err != nil {
+		s.errors.Add(1)
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, nil,
+			httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner unreachable"))
+		return
+	}
+	defer up.Close()
+	_ = up.SetDeadline(time.Now().Add(connTimeout))
+	ireq := &httpmsg.Request{Method: "GET", Path: req.Path, Header: httpmsg.Header{}}
+	ireq.Header.Set(internalHeader, "1")
+	if err := ireq.Write(up); err != nil {
+		s.errors.Add(1)
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, nil,
+			httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner write failed"))
+		return
+	}
+	resp, err := httpmsg.ReadResponse(bufio.NewReader(up), 0)
+	if err != nil || resp.StatusCode != httpmsg.StatusOK {
+		s.errors.Add(1)
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, nil,
+			httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner fetch failed"))
+		return
+	}
+	s.streamResponse(conn, req, int64(len(resp.Body)), strings.NewReader(string(resp.Body)), time.Time{})
+}
+
+// serveCGI executes a registered dynamic endpoint.
+func (s *Server) serveCGI(conn net.Conn, req *httpmsg.Request, fn CGIFunc) {
+	body, ctype := fn(req.Query, req.Body)
+	if ctype == "" {
+		ctype = "text/html"
+	}
+	h := httpmsg.Header{}
+	h.Set("Content-Type", ctype)
+	if err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusOK, h, body); err == nil {
+		s.served.Add(1)
+		s.bytesOut.Add(int64(len(body)))
+		s.logAccess(conn, req, httpmsg.StatusOK, int64(len(body)))
+	}
+}
+
+// streamResponse writes the response header and body in the httpd
+// write-loop style. A zero modTime omits Last-Modified (relayed content).
+func (s *Server) streamResponse(conn net.Conn, req *httpmsg.Request, size int64, body io.Reader, modTime time.Time) {
+	s.netActive.Add(1)
+	defer s.netActive.Add(-1)
+	bw := bufio.NewWriter(conn)
+	h := httpmsg.Header{}
+	h.Set("Content-Type", httpmsg.ContentTypeFor(req.Path))
+	h.Set("Content-Length", strconv.FormatInt(size, 10))
+	if !modTime.IsZero() {
+		h.Set("Last-Modified", httpmsg.FormatHTTPDate(modTime))
+	}
+	if err := httpmsg.WriteResponseHeader(bw, httpmsg.StatusOK, h); err != nil {
+		s.errors.Add(1)
+		return
+	}
+	if req.Method != "HEAD" {
+		n, err := io.Copy(bw, body)
+		s.bytesOut.Add(n)
+		if err != nil {
+			s.errors.Add(1)
+			return
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		s.errors.Add(1)
+		return
+	}
+	s.served.Add(1)
+	s.logAccess(conn, req, httpmsg.StatusOK, size)
+}

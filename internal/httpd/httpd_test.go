@@ -1,0 +1,159 @@
+package httpd
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sweb/internal/storage"
+)
+
+func testConfig(t *testing.T) Config {
+	st := storage.NewStore(2)
+	storage.UniformSet(st, 2, 1024)
+	return Config{ID: 0, DocRoot: t.TempDir(), Store: st}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Store = nil },
+		func(c *Config) { c.DocRoot = "" },
+	}
+	for i, mut := range cases {
+		cfg := testConfig(t)
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := testConfig(t)
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy == nil || cfg.Oracle == nil {
+		t.Fatal("policy/oracle defaults missing")
+	}
+	if cfg.LoaddPeriod != 2500*time.Millisecond || cfg.LoaddTimeout != 8*time.Second {
+		t.Fatalf("loadd defaults: %v %v", cfg.LoaddPeriod, cfg.LoaddTimeout)
+	}
+	if cfg.MaxConcurrent != 256 {
+		t.Fatalf("max concurrent = %d", cfg.MaxConcurrent)
+	}
+}
+
+func TestNewBindsEphemeralPorts(t *testing.T) {
+	srv, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" || srv.UDPAddr() == "" {
+		t.Fatal("addresses not bound")
+	}
+	if srv.ID() != 0 {
+		t.Fatalf("id = %d", srv.ID())
+	}
+	if !strings.Contains(srv.Addr(), "127.0.0.1:") {
+		t.Fatalf("addr = %q", srv.Addr())
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	srv, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	srv.Close()
+	srv.Close() // second close must not panic or deadlock
+}
+
+func TestParseRedirectCount(t *testing.T) {
+	cases := map[string]int{
+		"":                0,
+		"swebr=1":         1,
+		"swebr=3":         3,
+		"x=2&swebr=2&y=1": 2,
+		"swebr=bogus":     0,
+		"swebr=-1":        0,
+		"other=5":         0,
+	}
+	for in, want := range cases {
+		if got := parseRedirectCount(in); got != want {
+			t.Errorf("parseRedirectCount(%q) = %d want %d", in, got, want)
+		}
+	}
+}
+
+func TestLocalPathStaysInDocroot(t *testing.T) {
+	cfg := testConfig(t)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got := srv.localPath("/a/b.html")
+	want := filepath.Join(cfg.DocRoot, "a", "b.html")
+	if got != want {
+		t.Fatalf("localPath = %q want %q", got, want)
+	}
+}
+
+func TestSnapshotLoadsSelfRowIsLive(t *testing.T) {
+	srv, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetPeers([]Peer{{ID: 0, HTTPAddr: srv.Addr(), UDPAddr: srv.UDPAddr()}, {ID: 1, HTTPAddr: "x", UDPAddr: "y"}})
+	srv.inflight.Store(5)
+	loads := srv.snapshotLoads()
+	if len(loads) != 2 {
+		t.Fatalf("len = %d", len(loads))
+	}
+	if !loads[0].Available || loads[0].CPULoad != 5 {
+		t.Fatalf("self row = %+v", loads[0])
+	}
+	if loads[1].Available {
+		t.Fatal("peer without broadcasts should be unavailable")
+	}
+}
+
+func TestRegisterCGI(t *testing.T) {
+	srv, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterCGI("/cgi-bin/x.cgi", func(q string, b []byte) ([]byte, string) { return nil, "" })
+	if _, ok := srv.cgiFor("/cgi-bin/x.cgi"); !ok {
+		t.Fatal("registered CGI not found")
+	}
+	if _, ok := srv.cgiFor("/other"); ok {
+		t.Fatal("phantom CGI")
+	}
+}
+
+func TestSampleReflectsConfig(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ID = 1
+	cfg.CPUOpsPerSec = 11
+	cfg.DiskBytesPerSec = 22
+	cfg.NetBytesPerSec = 33
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s := srv.sample()
+	if s.Node != 1 || s.CPUOpsPerSec != 11 || s.DiskBytesPerSec != 22 || s.NetBytesPerSec != 33 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,357 @@
+// Package httpd is the live SWEB node: a from-scratch HTTP/1.0 server (in
+// the mold of the NCSA httpd 1.3 that SWEB was built on) that runs the
+// paper's four-phase request lifecycle — preprocess, analyze, redirect,
+// fulfill — against real TCP sockets, with the same core scheduling policies
+// and loadd tables as the simulator, gossiping load over UDP. File locality
+// is real: each node serves its own document root and fetches documents it
+// does not own from the owning peer over an internal HTTP request (the
+// NFS-cross-mount stand-in).
+package httpd
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sweb/internal/accesslog"
+	"sweb/internal/core"
+	"sweb/internal/loadd"
+	"sweb/internal/oracle"
+	"sweb/internal/storage"
+)
+
+// Peer identifies one cluster member.
+type Peer struct {
+	ID       int
+	HTTPAddr string // host:port of the peer's HTTP listener
+	UDPAddr  string // host:port of the peer's loadd socket
+}
+
+// CGIFunc is a registered dynamic endpoint ("any CGI's executed as
+// needed"). It receives the query string and optional POST body and
+// returns the response body and content type.
+type CGIFunc func(query string, body []byte) (out []byte, contentType string)
+
+// Config describes one live node.
+type Config struct {
+	// ID is this node's index in the cluster.
+	ID int
+	// Addr is the HTTP listen address ("127.0.0.1:0" for ephemeral).
+	Addr string
+	// UDPAddr is the loadd listen address ("127.0.0.1:0" for ephemeral).
+	UDPAddr string
+	// DocRoot is the directory holding the documents this node owns.
+	DocRoot string
+	// Store is the cluster-wide ownership map.
+	Store *storage.Store
+	// Policy decides request placement (default: SWEB with Params).
+	Policy core.Policy
+	// Params tunes the scheduler (default core.DefaultParams).
+	Params core.Params
+	// HaveParams marks Params as intentionally set.
+	HaveParams bool
+	// Oracle characterizes requests (default table).
+	Oracle *oracle.Oracle
+	// LoaddPeriod is the broadcast interval (default 2500ms ± jitter).
+	LoaddPeriod time.Duration
+	// LoaddTimeout silences a peer (default 8s).
+	LoaddTimeout time.Duration
+	// MaxConcurrent is the accept capacity; beyond it connections get 503
+	// (default 256).
+	MaxConcurrent int
+
+	// Capabilities advertised in load broadcasts. Defaults describe the
+	// host loosely; they only need to be consistent across the cluster.
+	CPUOpsPerSec    float64
+	DiskBytesPerSec float64
+	NetBytesPerSec  float64
+
+	// AccessLog, when non-nil, receives one NCSA Common Log Format line
+	// per handled request. Flush it before reading.
+	AccessLog *accesslog.Logger
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Store == nil {
+		return fmt.Errorf("httpd: Config.Store is required")
+	}
+	if c.DocRoot == "" {
+		return fmt.Errorf("httpd: Config.DocRoot is required")
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.UDPAddr == "" {
+		c.UDPAddr = "127.0.0.1:0"
+	}
+	if !c.HaveParams {
+		c.Params = core.DefaultParams()
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		c.Policy = core.NewSWEB(c.Params)
+	}
+	if c.Oracle == nil {
+		c.Oracle = oracle.New(oracle.DefaultDemand())
+	}
+	if c.LoaddPeriod == 0 {
+		c.LoaddPeriod = 2500 * time.Millisecond
+	}
+	if c.LoaddTimeout == 0 {
+		c.LoaddTimeout = 8 * time.Second
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 256
+	}
+	if c.CPUOpsPerSec == 0 {
+		c.CPUOpsPerSec = 40e6
+	}
+	if c.DiskBytesPerSec == 0 {
+		c.DiskBytesPerSec = 5e6
+	}
+	if c.NetBytesPerSec == 0 {
+		c.NetBytesPerSec = 5e6
+	}
+	return nil
+}
+
+// Stats are the server's cumulative counters.
+type Stats struct {
+	Accepted      int64
+	Refused       int64
+	Served        int64
+	Redirected    int64
+	InternalFetch int64
+	Errors        int64
+	BytesOut      int64
+	Broadcasts    int64
+	SamplesHeard  int64
+}
+
+// Server is one live SWEB node.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	udp   *net.UDPConn
+	table *loadd.Table
+	epoch time.Time
+
+	peersMu sync.RWMutex
+	peers   map[int]Peer
+
+	inflight   atomic.Int64
+	diskActive atomic.Int64
+	netActive  atomic.Int64
+
+	accepted, refused, served, redirected atomic.Int64
+	internalFetch, errors, bytesOut       atomic.Int64
+	broadcasts, samplesHeard              atomic.Int64
+
+	cgiMu sync.RWMutex
+	cgi   map[string]CGIFunc
+
+	closed  chan struct{}
+	closeMu sync.Mutex
+	wg      sync.WaitGroup
+}
+
+// New binds the node's HTTP and UDP sockets but does not serve yet; read
+// the bound addresses with Addr/UDPAddr, distribute them as peers, then
+// call SetPeers and Start.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: listen %s: %w", cfg.Addr, err)
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("httpd: resolve %s: %w", cfg.UDPAddr, err)
+	}
+	udp, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("httpd: udp listen %s: %w", cfg.UDPAddr, err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		udp:    udp,
+		table:  loadd.NewTable(cfg.ID, cfg.LoaddTimeout.Seconds(), cfg.Params.Delta),
+		epoch:  time.Now(),
+		peers:  make(map[int]Peer),
+		cgi:    make(map[string]CGIFunc),
+		closed: make(chan struct{}),
+	}
+	return s, nil
+}
+
+// ID returns the node id.
+func (s *Server) ID() int { return s.cfg.ID }
+
+// Addr returns the bound HTTP address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// UDPAddr returns the bound loadd address.
+func (s *Server) UDPAddr() string { return s.udp.LocalAddr().String() }
+
+// SetPeers installs the cluster membership (including this node).
+func (s *Server) SetPeers(peers []Peer) {
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
+	for _, p := range peers {
+		s.peers[p.ID] = p
+	}
+}
+
+// RegisterCGI installs a dynamic endpoint at path.
+func (s *Server) RegisterCGI(path string, fn CGIFunc) {
+	s.cgiMu.Lock()
+	defer s.cgiMu.Unlock()
+	s.cgi[path] = fn
+}
+
+func (s *Server) cgiFor(path string) (CGIFunc, bool) {
+	s.cgiMu.RLock()
+	defer s.cgiMu.RUnlock()
+	fn, ok := s.cgi[path]
+	return fn, ok
+}
+
+// Start launches the accept loop, the loadd broadcaster, and the loadd
+// listener.
+func (s *Server) Start() {
+	s.wg.Add(3)
+	go s.acceptLoop()
+	go s.broadcastLoop()
+	go s.listenLoop()
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	select {
+	case <-s.closed:
+		s.closeMu.Unlock()
+		return
+	default:
+		close(s.closed)
+	}
+	s.closeMu.Unlock()
+	s.ln.Close()
+	s.udp.Close()
+	s.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:      s.accepted.Load(),
+		Refused:       s.refused.Load(),
+		Served:        s.served.Load(),
+		Redirected:    s.redirected.Load(),
+		InternalFetch: s.internalFetch.Load(),
+		Errors:        s.errors.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		Broadcasts:    s.broadcasts.Load(),
+		SamplesHeard:  s.samplesHeard.Load(),
+	}
+}
+
+// Table exposes the loadd table (tests and the doctor CLI).
+func (s *Server) Table() *loadd.Table { return s.table }
+
+func (s *Server) nowSec() float64 { return time.Since(s.epoch).Seconds() }
+
+// sample builds this node's load broadcast.
+func (s *Server) sample() loadd.Sample {
+	return loadd.Sample{
+		Node:            s.cfg.ID,
+		CPULoad:         float64(s.inflight.Load()),
+		DiskLoad:        float64(s.diskActive.Load()),
+		NetLoad:         float64(s.netActive.Load()),
+		CPUOpsPerSec:    s.cfg.CPUOpsPerSec,
+		DiskBytesPerSec: s.cfg.DiskBytesPerSec,
+		NetBytesPerSec:  s.cfg.NetBytesPerSec,
+		SentAt:          s.nowSec(),
+	}
+}
+
+// broadcastLoop sends the load sample to every peer at the loadd period
+// (with mild per-node jitter, like the paper's 2-3 s spread).
+func (s *Server) broadcastLoop() {
+	defer s.wg.Done()
+	jitter := time.Duration(s.cfg.ID%5) * 100 * time.Millisecond
+	ticker := time.NewTicker(s.cfg.LoaddPeriod + jitter)
+	defer ticker.Stop()
+	s.broadcastOnce()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-ticker.C:
+			s.broadcastOnce()
+		}
+	}
+}
+
+func (s *Server) broadcastOnce() {
+	smp := s.sample()
+	// A node always trusts its own fresh numbers.
+	if err := s.table.Update(smp, s.nowSec()); err != nil {
+		return
+	}
+	var buf [loadd.MaxWireSize]byte
+	n, err := loadd.EncodeSample(buf[:], smp)
+	if err != nil {
+		return
+	}
+	s.peersMu.RLock()
+	defer s.peersMu.RUnlock()
+	for id, p := range s.peers {
+		if id == s.cfg.ID {
+			continue
+		}
+		addr, err := net.ResolveUDPAddr("udp", p.UDPAddr)
+		if err != nil {
+			continue
+		}
+		if _, err := s.udp.WriteToUDP(buf[:n], addr); err == nil {
+			s.broadcasts.Add(1)
+		}
+	}
+}
+
+// listenLoop ingests peer broadcasts.
+func (s *Server) listenLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, loadd.MaxWireSize)
+	for {
+		n, _, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		smp, err := loadd.DecodeSample(buf[:n])
+		if err != nil {
+			continue // drop corrupt datagrams
+		}
+		if smp.Node == s.cfg.ID {
+			continue // ignore echoes
+		}
+		if s.table.Update(smp, s.nowSec()) == nil {
+			s.samplesHeard.Add(1)
+		}
+	}
+}

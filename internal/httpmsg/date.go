@@ -1,0 +1,49 @@
+package httpmsg
+
+import (
+	"time"
+)
+
+// HTTP/1.0 date handling (RFC 1945 §3.3): servers emit RFC 1123 dates and
+// must accept all three formats browsers of the era sent.
+var httpDateLayouts = []string{
+	time.RFC1123,                     // Sun, 06 Nov 1994 08:49:37 GMT
+	"Monday, 02-Jan-06 15:04:05 MST", // RFC 850
+	"Mon Jan  2 15:04:05 2006",       // ANSI C asctime()
+}
+
+// FormatHTTPDate renders t in the preferred RFC 1123 GMT form.
+func FormatHTTPDate(t time.Time) string {
+	return t.UTC().Format(time.RFC1123)
+}
+
+// ParseHTTPDate accepts any of the three HTTP/1.0 date formats.
+func ParseHTTPDate(s string) (time.Time, error) {
+	var lastErr error
+	for _, layout := range httpDateLayouts {
+		t, err := time.Parse(layout, s)
+		if err == nil {
+			return t, nil
+		}
+		lastErr = err
+	}
+	return time.Time{}, parseErrf("unparseable HTTP date %q: %v", s, lastErr)
+}
+
+// StatusNotModified is the conditional-GET answer (RFC 1945 §9.3).
+const StatusNotModified = 304
+
+// NotModified reports whether a document with modification time mod should
+// answer 304 to a request carrying the given If-Modified-Since header value
+// ("" means unconditional). Sub-second precision is dropped, as HTTP dates
+// have none.
+func NotModified(ifModifiedSince string, mod time.Time) bool {
+	if ifModifiedSince == "" {
+		return false
+	}
+	since, err := ParseHTTPDate(ifModifiedSince)
+	if err != nil {
+		return false // malformed condition: serve the full document
+	}
+	return !mod.Truncate(time.Second).After(since)
+}

@@ -1,0 +1,413 @@
+// Package httpmsg implements the HTTP/1.0 message layer the live SWEB nodes
+// speak: request parsing, response serialization, and the handful of status
+// codes an NCSA-era server uses (200, 302 for SWEB's URL redirection, 400,
+// 403, 404, 500, 503). It is deliberately a from-scratch implementation in
+// the spirit of the 1996 httpd — one request per TCP connection, no
+// keep-alive, no chunked encoding — built directly on bufio over net.Conn.
+package httpmsg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Limits protect the parser from hostile or broken peers.
+const (
+	// MaxRequestLine bounds the "GET /path HTTP/1.0" line.
+	MaxRequestLine = 8 << 10
+	// MaxHeaderBytes bounds the total header block.
+	MaxHeaderBytes = 32 << 10
+	// MaxHeaderCount bounds the number of header fields.
+	MaxHeaderCount = 100
+	// MaxBodyBytes bounds request bodies (POST to CGI).
+	MaxBodyBytes = 1 << 20
+)
+
+// Common status codes. (The paper's text quotes "202 ... OK. File found." —
+// a typo for 200, which is what NCSA httpd actually sent.)
+const (
+	StatusOK                  = 200
+	StatusMovedTemporarily    = 302 // SWEB's redirection vehicle
+	StatusBadRequest          = 400
+	StatusForbidden           = 403
+	StatusNotFound            = 404
+	StatusInternalServerError = 500
+	StatusServiceUnavailable  = 503
+)
+
+// StatusText returns the reason phrase for the codes this server emits.
+func StatusText(code int) string {
+	switch code {
+	case StatusOK:
+		return "OK"
+	case StatusMovedTemporarily:
+		return "Moved Temporarily"
+	case StatusNotModified:
+		return "Not Modified"
+	case StatusBadRequest:
+		return "Bad Request"
+	case StatusForbidden:
+		return "Forbidden"
+	case StatusNotFound:
+		return "Not Found"
+	case StatusInternalServerError:
+		return "Internal Server Error"
+	case StatusServiceUnavailable:
+		return "Service Unavailable"
+	default:
+		return "Status " + strconv.Itoa(code)
+	}
+}
+
+// Header is a case-insensitive header map; keys are stored canonicalized
+// ("Content-Length"). Values keep insertion order per key.
+type Header map[string][]string
+
+// CanonicalKey converts "content-length" to "Content-Length".
+func CanonicalKey(k string) string {
+	b := []byte(k)
+	upper := true
+	for i, c := range b {
+		switch {
+		case upper && 'a' <= c && c <= 'z':
+			b[i] = c - ('a' - 'A')
+		case !upper && 'A' <= c && c <= 'Z':
+			b[i] = c + ('a' - 'A')
+		}
+		upper = c == '-'
+	}
+	return string(b)
+}
+
+// Set replaces the values for key.
+func (h Header) Set(key, value string) { h[CanonicalKey(key)] = []string{value} }
+
+// Add appends a value for key.
+func (h Header) Add(key, value string) {
+	ck := CanonicalKey(key)
+	h[ck] = append(h[ck], value)
+}
+
+// Get returns the first value for key, or "".
+func (h Header) Get(key string) string {
+	if vs := h[CanonicalKey(key)]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// Del removes key.
+func (h Header) Del(key string) { delete(h, CanonicalKey(key)) }
+
+// write serializes headers in sorted key order (deterministic output).
+func (h Header) write(w *bufio.Writer) error {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range h[k] {
+			if _, err := fmt.Fprintf(w, "%s: %s\r\n", k, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Request is a parsed HTTP/1.0 request.
+type Request struct {
+	Method string // "GET", "HEAD", "POST"
+	// Path is the decoded absolute path, query string stripped.
+	Path string
+	// Query is the raw query string (without '?'), "" if none.
+	Query  string
+	Proto  string // "HTTP/1.0" or "HTTP/1.1"
+	Header Header
+	Body   []byte // POST payload, nil otherwise
+}
+
+// ParseError marks a malformed message; servers answer 400.
+type ParseError struct{ Reason string }
+
+func (e *ParseError) Error() string { return "httpmsg: " + e.Reason }
+
+func parseErrf(format string, args ...any) error {
+	return &ParseError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br, MaxRequestLine)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		return nil, parseErrf("malformed request line %q", line)
+	}
+	method, target, proto := parts[0], parts[1], parts[2]
+	switch method {
+	case "GET", "HEAD", "POST":
+	default:
+		return nil, parseErrf("unsupported method %q", method)
+	}
+	if proto != "HTTP/1.0" && proto != "HTTP/1.1" && proto != "HTTP/0.9" {
+		return nil, parseErrf("unsupported protocol %q", proto)
+	}
+	req := &Request{Method: method, Proto: proto, Header: Header{}}
+	// Accept absolute URLs (proxy-style) by stripping the scheme+host.
+	if strings.HasPrefix(target, "http://") {
+		rest := target[len("http://"):]
+		if slash := strings.IndexByte(rest, '/'); slash >= 0 {
+			target = rest[slash:]
+		} else {
+			target = "/"
+		}
+	}
+	if !strings.HasPrefix(target, "/") {
+		return nil, parseErrf("request target %q is not absolute", target)
+	}
+	if q := strings.IndexByte(target, '?'); q >= 0 {
+		req.Query = target[q+1:]
+		target = target[:q]
+	}
+	req.Path, err = decodePath(target)
+	if err != nil {
+		return nil, err
+	}
+	if err := readHeaders(br, req.Header); err != nil {
+		return nil, err
+	}
+	if method == "POST" {
+		n, err := strconv.Atoi(strings.TrimSpace(req.Header.Get("Content-Length")))
+		if err != nil || n < 0 {
+			return nil, parseErrf("POST without a valid Content-Length")
+		}
+		if n > MaxBodyBytes {
+			return nil, parseErrf("request body of %d bytes exceeds limit", n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, parseErrf("short request body: %v", err)
+		}
+		req.Body = body
+	}
+	return req, nil
+}
+
+// Write serializes the request (client side).
+func (r *Request) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	target := escapePath(r.Path)
+	if r.Query != "" {
+		target += "?" + r.Query
+	}
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.0"
+	}
+	if _, err := fmt.Fprintf(bw, "%s %s %s\r\n", r.Method, target, proto); err != nil {
+		return err
+	}
+	h := r.Header
+	if h == nil {
+		h = Header{}
+	}
+	if r.Body != nil {
+		h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	}
+	if err := h.write(bw); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("\r\n"); err != nil {
+		return err
+	}
+	if r.Body != nil {
+		if _, err := bw.Write(r.Body); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Response is a parsed or to-be-written HTTP response.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Status     string // reason phrase
+	Header     Header
+	// Body is the full body for parsed responses. When writing, use
+	// WriteResponseHeader followed by direct writes for streaming.
+	Body []byte
+}
+
+// ReadResponseHeader parses the status line and headers only, leaving the
+// body unread on br — what a HEAD client or a streaming relay needs.
+func ReadResponseHeader(br *bufio.Reader) (*Response, error) {
+	line, err := readLine(br, MaxRequestLine)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, parseErrf("malformed status line %q", line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 599 {
+		return nil, parseErrf("bad status code in %q", line)
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code, Header: Header{}}
+	if len(parts) == 3 {
+		resp.Status = parts[2]
+	}
+	if err := readHeaders(br, resp.Header); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ReadResponse parses a full response, including the body (bounded by
+// limit bytes; pass <=0 for no limit beyond Content-Length).
+func ReadResponse(br *bufio.Reader, limit int64) (*Response, error) {
+	resp, err := ReadResponseHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		n, err := strconv.ParseInt(strings.TrimSpace(cl), 10, 64)
+		if err != nil || n < 0 {
+			return nil, parseErrf("bad Content-Length %q", cl)
+		}
+		if limit > 0 && n > limit {
+			return nil, parseErrf("response body of %d bytes exceeds limit", n)
+		}
+		resp.Body = make([]byte, n)
+		if _, err := io.ReadFull(br, resp.Body); err != nil {
+			return nil, parseErrf("short response body: %v", err)
+		}
+		return resp, nil
+	}
+	// HTTP/1.0 without Content-Length: body runs to EOF.
+	var r io.Reader = br
+	if limit > 0 {
+		r = io.LimitReader(br, limit+1)
+	}
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if limit > 0 && int64(len(body)) > limit {
+		return nil, parseErrf("unbounded response exceeds limit")
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+// WriteResponseHeader writes the status line and headers; the caller then
+// streams the body. Content-Length should already be set for HTTP/1.0
+// clients that want to reuse nothing but still know the size.
+func WriteResponseHeader(w *bufio.Writer, code int, h Header) error {
+	if h == nil {
+		h = Header{}
+	}
+	if h.Get("Date") == "" {
+		h.Set("Date", time.Now().UTC().Format(time.RFC1123))
+	}
+	if h.Get("Server") == "" {
+		h.Set("Server", "SWEB/1.0 (NCSA-derived)")
+	}
+	if _, err := fmt.Fprintf(w, "HTTP/1.0 %d %s\r\n", code, StatusText(code)); err != nil {
+		return err
+	}
+	if err := h.write(w); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+// WriteSimpleResponse writes a complete small response (errors, redirects).
+func WriteSimpleResponse(w io.Writer, code int, h Header, body []byte) error {
+	bw := bufio.NewWriter(w)
+	if h == nil {
+		h = Header{}
+	}
+	if h.Get("Content-Type") == "" {
+		h.Set("Content-Type", "text/html")
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	if err := WriteResponseHeader(bw, code, h); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ErrorBody renders the little HTML page NCSA httpd sends with an error.
+func ErrorBody(code int, detail string) []byte {
+	return []byte(fmt.Sprintf(
+		"<HEAD><TITLE>%d %s</TITLE></HEAD>\n<BODY><H1>%d %s</H1>\n%s\n</BODY>\n",
+		code, StatusText(code), code, StatusText(code), detail))
+}
+
+// readLine reads a CRLF- or LF-terminated line of at most max bytes.
+func readLine(br *bufio.Reader, max int) (string, error) {
+	var b strings.Builder
+	for {
+		chunk, err := br.ReadString('\n')
+		b.WriteString(chunk)
+		if b.Len() > max {
+			return "", parseErrf("line exceeds %d bytes", max)
+		}
+		if err != nil {
+			if err == io.EOF && b.Len() == 0 {
+				return "", io.EOF
+			}
+			if err == io.EOF {
+				break
+			}
+			return "", err
+		}
+		break
+	}
+	return strings.TrimRight(b.String(), "\r\n"), nil
+}
+
+func readHeaders(br *bufio.Reader, h Header) error {
+	total, count := 0, 0
+	for {
+		line, err := readLine(br, MaxRequestLine)
+		if err != nil {
+			return parseErrf("reading headers: %v", err)
+		}
+		if line == "" {
+			return nil
+		}
+		total += len(line)
+		count++
+		if total > MaxHeaderBytes {
+			return parseErrf("header block exceeds %d bytes", MaxHeaderBytes)
+		}
+		if count > MaxHeaderCount {
+			return parseErrf("more than %d header fields", MaxHeaderCount)
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return parseErrf("malformed header line %q", line)
+		}
+		key := strings.TrimSpace(line[:colon])
+		if key == "" || strings.ContainsAny(key, " \t") {
+			return parseErrf("malformed header name %q", key)
+		}
+		h.Add(key, strings.TrimSpace(line[colon+1:]))
+	}
+}

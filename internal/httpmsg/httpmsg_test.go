@@ -1,0 +1,357 @@
+package httpmsg
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func parse(t *testing.T, raw string) *Request {
+	t.Helper()
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("parse %q: %v", raw, err)
+	}
+	return req
+}
+
+func TestParseSimpleGET(t *testing.T) {
+	req := parse(t, "GET /index.html HTTP/1.0\r\nHost: example.com\r\n\r\n")
+	if req.Method != "GET" || req.Path != "/index.html" || req.Proto != "HTTP/1.0" {
+		t.Fatalf("req = %+v", req)
+	}
+	if req.Header.Get("Host") != "example.com" {
+		t.Fatalf("host = %q", req.Header.Get("Host"))
+	}
+	if req.Query != "" || req.Body != nil {
+		t.Fatal("unexpected query/body")
+	}
+}
+
+func TestParseQueryString(t *testing.T) {
+	req := parse(t, "GET /search?q=maps&swebr=1 HTTP/1.0\r\n\r\n")
+	if req.Path != "/search" || req.Query != "q=maps&swebr=1" {
+		t.Fatalf("req = %+v", req)
+	}
+}
+
+func TestParsePercentEncodedPath(t *testing.T) {
+	req := parse(t, "GET /a%20b/c%2Fd.html HTTP/1.0\r\n\r\n")
+	if req.Path != "/a b/c/d.html" {
+		t.Fatalf("path = %q", req.Path)
+	}
+}
+
+func TestParseAbsoluteURL(t *testing.T) {
+	req := parse(t, "GET http://server:8080/doc.html HTTP/1.0\r\n\r\n")
+	if req.Path != "/doc.html" {
+		t.Fatalf("path = %q", req.Path)
+	}
+	req = parse(t, "GET http://server HTTP/1.0\r\n\r\n")
+	if req.Path != "/" {
+		t.Fatalf("path = %q", req.Path)
+	}
+}
+
+func TestParsePathNormalization(t *testing.T) {
+	cases := map[string]string{
+		"/a//b":     "/a/b",
+		"/a/./b":    "/a/b",
+		"/a/b/../c": "/a/c",
+		"/":         "/",
+		"/a/b/":     "/a/b/",
+	}
+	for in, want := range cases {
+		req := parse(t, "GET "+in+" HTTP/1.0\r\n\r\n")
+		if req.Path != want {
+			t.Errorf("normalize(%q) = %q want %q", in, req.Path, want)
+		}
+	}
+}
+
+func TestParseRejectsTraversal(t *testing.T) {
+	for _, p := range []string{"/../etc/passwd", "/a/../../etc", "/%2e%2e/secret"} {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader("GET " + p + " HTTP/1.0\r\n\r\n"))); err == nil {
+			t.Errorf("traversal %q accepted", p)
+		}
+	}
+}
+
+func TestParsePOSTBody(t *testing.T) {
+	req := parse(t, "POST /cgi-bin/q.cgi HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello")
+	if string(req.Body) != "hello" {
+		t.Fatalf("body = %q", req.Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"GARBAGE\r\n\r\n",
+		"DELETE / HTTP/1.0\r\n\r\n",             // unsupported method
+		"GET / SPDY/3\r\n\r\n",                  // unsupported proto
+		"GET relative HTTP/1.0\r\n\r\n",         // non-absolute target
+		"GET /%zz HTTP/1.0\r\n\r\n",             // bad escape
+		"GET /%2 HTTP/1.0\r\n\r\n",              // truncated escape
+		"GET / HTTP/1.0\r\nNoColonHere\r\n\r\n", // malformed header
+		"GET / HTTP/1.0\r\n: empty\r\n\r\n",     // empty header name
+		"POST / HTTP/1.0\r\n\r\n",               // POST without length
+		"POST / HTTP/1.0\r\nContent-Length: -1\r\n\r\n",
+		"POST / HTTP/1.0\r\nContent-Length: 10\r\n\r\nshort",
+	}
+	for _, in := range cases {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(in))); err == nil {
+			t.Errorf("request %q parsed", in)
+		}
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	longLine := "GET /" + strings.Repeat("a", MaxRequestLine) + " HTTP/1.0\r\n\r\n"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(longLine))); err == nil {
+		t.Fatal("overlong request line accepted")
+	}
+	var b strings.Builder
+	b.WriteString("GET / HTTP/1.0\r\n")
+	for i := 0; i < MaxHeaderCount+1; i++ {
+		b.WriteString("X-H: v\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(b.String()))); err == nil {
+		t.Fatal("too many headers accepted")
+	}
+	huge := "POST / HTTP/1.0\r\nContent-Length: 99999999\r\n\r\n"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(huge))); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
+
+func TestHeaderCanonicalization(t *testing.T) {
+	if CanonicalKey("content-length") != "Content-Length" {
+		t.Fatal("canonical key")
+	}
+	if CanonicalKey("X-SWEB-internal") != "X-Sweb-Internal" {
+		t.Fatalf("got %q", CanonicalKey("X-SWEB-internal"))
+	}
+	h := Header{}
+	h.Set("x-test", "1")
+	if h.Get("X-TEST") != "1" {
+		t.Fatal("case-insensitive get failed")
+	}
+	h.Add("x-test", "2")
+	if len(h["X-Test"]) != 2 {
+		t.Fatal("add did not append")
+	}
+	h.Del("X-test")
+	if h.Get("x-test") != "" {
+		t.Fatal("del failed")
+	}
+}
+
+func TestRequestWriteReadRoundTrip(t *testing.T) {
+	orig := &Request{
+		Method: "GET",
+		Path:   "/a b/file.html",
+		Query:  "x=1&y=2",
+		Header: Header{},
+	}
+	orig.Header.Set("X-Sweb-Internal", "1")
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Path != orig.Path || got.Query != orig.Query || got.Header.Get("X-Sweb-Internal") != "1" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestPOSTWriteReadRoundTrip(t *testing.T) {
+	orig := &Request{Method: "POST", Path: "/cgi", Header: Header{}, Body: []byte("payload")}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != "payload" {
+		t.Fatalf("body = %q", got.Body)
+	}
+}
+
+func TestWriteSimpleResponseReadBack(t *testing.T) {
+	var buf bytes.Buffer
+	h := Header{}
+	h.Set("Location", "http://peer/doc")
+	if err := WriteSimpleResponse(&buf, StatusMovedTemporarily, h, []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponse(bufio.NewReader(&buf), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 302 || resp.Header.Get("Location") != "http://peer/doc" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if string(resp.Body) != "moved" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if resp.Header.Get("Date") == "" || resp.Header.Get("Server") == "" {
+		t.Fatal("Date/Server headers missing")
+	}
+}
+
+func TestReadResponseWithoutContentLength(t *testing.T) {
+	raw := "HTTP/1.0 200 OK\r\n\r\nbody runs to eof"
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "body runs to eof" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}
+
+func TestReadResponseErrors(t *testing.T) {
+	cases := []string{
+		"NOTHTTP 200 OK\r\n\r\n",
+		"HTTP/1.0 999999 X\r\n\r\n",
+		"HTTP/1.0 20x OK\r\n\r\n",
+		"HTTP/1.0 200 OK\r\nContent-Length: -5\r\n\r\n",
+		"HTTP/1.0 200 OK\r\nContent-Length: 10\r\n\r\nshort",
+	}
+	for _, in := range cases {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(in)), 0); err == nil {
+			t.Errorf("response %q parsed", in)
+		}
+	}
+}
+
+func TestReadResponseLimit(t *testing.T) {
+	raw := "HTTP/1.0 200 OK\r\nContent-Length: 100\r\n\r\n" + strings.Repeat("x", 100)
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), 50); err == nil {
+		t.Fatal("limit not enforced with Content-Length")
+	}
+	raw2 := "HTTP/1.0 200 OK\r\n\r\n" + strings.Repeat("x", 100)
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw2)), 50); err == nil {
+		t.Fatal("limit not enforced without Content-Length")
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	cases := map[int]string{
+		200: "OK", 302: "Moved Temporarily", 400: "Bad Request",
+		403: "Forbidden", 404: "Not Found", 500: "Internal Server Error",
+		503: "Service Unavailable",
+	}
+	for code, want := range cases {
+		if got := StatusText(code); got != want {
+			t.Errorf("StatusText(%d) = %q", code, got)
+		}
+	}
+	if !strings.Contains(StatusText(418), "418") {
+		t.Fatal("unknown status formatting")
+	}
+}
+
+func TestErrorBody(t *testing.T) {
+	body := string(ErrorBody(404, "missing"))
+	if !strings.Contains(body, "404") || !strings.Contains(body, "Not Found") || !strings.Contains(body, "missing") {
+		t.Fatalf("error body = %q", body)
+	}
+}
+
+func TestContentTypeFor(t *testing.T) {
+	cases := map[string]string{
+		"/a.html": "text/html", "/a.HTM": "text/html", "/a.txt": "text/plain",
+		"/a.gif": "image/gif", "/a.jpg": "image/jpeg", "/a.pdf": "application/pdf",
+		"/a.img": "application/octet-stream", "/noext": "application/octet-stream",
+	}
+	for in, want := range cases {
+		if got := ContentTypeFor(in); got != want {
+			t.Errorf("ContentTypeFor(%q) = %q", in, got)
+		}
+	}
+}
+
+// Property: any slash-separated path of safe segments survives a
+// write→parse round trip byte for byte.
+func TestPathRoundTripProperty(t *testing.T) {
+	f := func(segs []string) bool {
+		path := "/"
+		for _, s := range segs {
+			clean := strings.Map(func(r rune) rune {
+				if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_' || r == ' ' {
+					return r
+				}
+				return -1
+			}, s)
+			if clean == "" || clean == strings.Repeat(" ", len(clean)) {
+				continue
+			}
+			if path != "/" {
+				path += "/"
+			}
+			path += clean
+		}
+		req := &Request{Method: "GET", Path: path, Header: Header{}}
+		var buf bytes.Buffer
+		if err := req.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		return err == nil && got.Path == path
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: header round trip preserves values for safe keys.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		req := &Request{Method: "GET", Path: "/", Header: Header{}}
+		want := map[string]string{}
+		for i, v := range vals {
+			if i >= 20 {
+				break
+			}
+			v = strings.Map(func(r rune) rune {
+				if r >= ' ' && r < 127 {
+					return r
+				}
+				return -1
+			}, v)
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			key := "X-Prop-" + string(rune('A'+i))
+			req.Header.Set(key, v)
+			want[CanonicalKey(key)] = v
+		}
+		var buf bytes.Buffer
+		if err := req.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		for k, v := range want {
+			if got.Header.Get(k) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

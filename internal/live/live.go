@@ -1,0 +1,309 @@
+// Package live runs a whole SWEB deployment as real processes-worth of
+// goroutines on localhost: n httpd nodes with their own document roots and
+// UDP loadd gossip, a round-robin resolver standing in for the DNS front
+// end, a redirect-following client, and a burst-style load generator. This
+// is the "cluster simulated via processes" substrate: every byte crosses a
+// real TCP socket and every load sample a real UDP datagram.
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"sweb/internal/core"
+	"sweb/internal/dnsrr"
+	"sweb/internal/httpd"
+	"sweb/internal/httpmsg"
+	"sweb/internal/storage"
+)
+
+// Options configures a live cluster.
+type Options struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Store describes the documents; files are materialized on disk under
+	// BaseDir, one docroot per owning node. Required.
+	Store *storage.Store
+	// BaseDir hosts the per-node docroots. Required (use t.TempDir() in
+	// tests).
+	BaseDir string
+	// Policy selects the scheduler per node: "sweb" (default), "rr",
+	// "fl", "cpu".
+	Policy string
+	// Params tunes the scheduler (zero: core.DefaultParams).
+	Params     core.Params
+	HaveParams bool
+	// LoaddPeriod overrides the broadcast interval (default 500ms — the
+	// live cluster runs short tests, so it gossips faster than the
+	// paper's 2-3s while keeping the same structure).
+	LoaddPeriod time.Duration
+	// MaxConcurrent is the per-node accept capacity (default 256).
+	MaxConcurrent int
+	// Seed drives file content generation.
+	Seed int64
+}
+
+// Cluster is a running live deployment.
+type Cluster struct {
+	Servers  []*httpd.Server
+	Resolver *dnsrr.Resolver
+	store    *storage.Store
+}
+
+// Start materializes the docroots, binds and starts every node, and wires
+// the peer tables.
+func Start(o Options) (*Cluster, error) {
+	if o.Nodes <= 0 {
+		return nil, fmt.Errorf("live: need at least one node")
+	}
+	if o.Store == nil || o.BaseDir == "" {
+		return nil, fmt.Errorf("live: Store and BaseDir are required")
+	}
+	if o.Store.Nodes() != o.Nodes {
+		return nil, fmt.Errorf("live: store built for %d nodes, want %d", o.Store.Nodes(), o.Nodes)
+	}
+	if o.LoaddPeriod == 0 {
+		o.LoaddPeriod = 500 * time.Millisecond
+	}
+	if err := Materialize(o.Store, o.BaseDir, o.Seed); err != nil {
+		return nil, err
+	}
+	policies := map[string]func(core.Params) core.Policy{
+		"":     func(p core.Params) core.Policy { return core.NewSWEB(p) },
+		"sweb": func(p core.Params) core.Policy { return core.NewSWEB(p) },
+		"rr":   func(p core.Params) core.Policy { return core.RoundRobin{} },
+		"fl":   func(p core.Params) core.Policy { return core.FileLocality{P: p} },
+		"cpu":  func(p core.Params) core.Policy { return core.CPUOnly{P: p} },
+	}
+	mk, ok := policies[o.Policy]
+	if !ok {
+		return nil, fmt.Errorf("live: unknown policy %q", o.Policy)
+	}
+	params := o.Params
+	if !o.HaveParams {
+		params = core.DefaultParams()
+	}
+
+	cl := &Cluster{store: o.Store}
+	for i := 0; i < o.Nodes; i++ {
+		cfg := httpd.Config{
+			ID:            i,
+			DocRoot:       nodeDocRoot(o.BaseDir, i),
+			Store:         o.Store,
+			Policy:        mk(params),
+			Params:        params,
+			HaveParams:    true,
+			LoaddPeriod:   o.LoaddPeriod,
+			MaxConcurrent: o.MaxConcurrent,
+		}
+		srv, err := httpd.New(cfg)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Servers = append(cl.Servers, srv)
+	}
+	peers := make([]httpd.Peer, 0, o.Nodes)
+	ids := make([]int, 0, o.Nodes)
+	for i, srv := range cl.Servers {
+		peers = append(peers, httpd.Peer{ID: i, HTTPAddr: srv.Addr(), UDPAddr: srv.UDPAddr()})
+		ids = append(ids, i)
+	}
+	for _, srv := range cl.Servers {
+		srv.SetPeers(peers)
+		srv.Start()
+	}
+	var err error
+	cl.Resolver, err = dnsrr.New(ids, 0)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Assemble wraps already-constructed servers (e.g. nodes sharing one access
+// log) into a Cluster with a round-robin resolver. The servers must already
+// have their peers set; Assemble starts none of them.
+func Assemble(servers []*httpd.Server, store *storage.Store) (*Cluster, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("live: no servers to assemble")
+	}
+	ids := make([]int, len(servers))
+	for i, srv := range servers {
+		ids[i] = srv.ID()
+	}
+	resolver, err := dnsrr.New(ids, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Servers: servers, Resolver: resolver, store: store}, nil
+}
+
+// Close stops every node.
+func (c *Cluster) Close() {
+	for _, srv := range c.Servers {
+		if srv != nil {
+			srv.Close()
+		}
+	}
+}
+
+// Addrs returns the HTTP addresses in node order.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.Servers))
+	for i, srv := range c.Servers {
+		out[i] = srv.Addr()
+	}
+	return out
+}
+
+// nodeDocRoot is the directory holding node i's documents.
+func nodeDocRoot(base string, i int) string {
+	return filepath.Join(base, fmt.Sprintf("node%d", i))
+}
+
+// Materialize writes every document in the store to its owner's docroot
+// with deterministic pseudo-random content.
+func Materialize(st *storage.Store, baseDir string, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range st.Paths() {
+		f, _ := st.Lookup(p)
+		if f.CGI {
+			continue // dynamic endpoints are registered, not stored
+		}
+		full := filepath.Join(nodeDocRoot(baseDir, f.Owner), filepath.FromSlash(strings.TrimPrefix(p, "/")))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return fmt.Errorf("live: %v", err)
+		}
+		body := make([]byte, f.Size)
+		rng.Read(body)
+		if err := os.WriteFile(full, body, 0o644); err != nil {
+			return fmt.Errorf("live: %v", err)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one client fetch.
+type Result struct {
+	Status     int
+	Body       []byte
+	Redirected bool
+	ServedBy   string // final address that answered
+	Elapsed    time.Duration
+}
+
+// Client fetches documents through the DNS rotation, following at most one
+// redirect like a 1996 browser.
+type Client struct {
+	mu       sync.Mutex
+	cluster  *Cluster
+	timeout  time.Duration
+	maxBytes int64
+}
+
+// NewClient builds a client for the cluster.
+func (c *Cluster) NewClient() *Client {
+	return &Client{cluster: c, timeout: 30 * time.Second, maxBytes: 64 << 20}
+}
+
+// Get fetches path, following redirects (up to 4 hops as browsers did).
+func (cl *Client) Get(path string) (*Result, error) {
+	start := time.Now()
+	node, err := cl.cluster.Resolver.Resolve("", float64(time.Now().UnixNano())/1e9)
+	if err != nil {
+		return nil, err
+	}
+	addr := cl.cluster.Servers[node].Addr()
+	redirected := false
+	for hop := 0; hop < 4; hop++ {
+		status, hdr, body, err := fetchOnce(addr, path, cl.timeout, cl.maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		if status == httpmsg.StatusMovedTemporarily {
+			loc := hdr.Get("Location")
+			naddr, npath, ok := splitLocation(loc)
+			if !ok {
+				return nil, fmt.Errorf("live: bad Location %q", loc)
+			}
+			addr, path = naddr, npath
+			redirected = true
+			continue
+		}
+		return &Result{
+			Status: status, Body: body, Redirected: redirected,
+			ServedBy: addr, Elapsed: time.Since(start),
+		}, nil
+	}
+	return nil, fmt.Errorf("live: too many redirects for %s", path)
+}
+
+// fetchOnce performs a single HTTP/1.0 GET.
+func fetchOnce(addr, pathAndQuery string, timeout time.Duration, maxBytes int64) (int, httpmsg.Header, []byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	p, q := pathAndQuery, ""
+	if i := strings.IndexByte(pathAndQuery, '?'); i >= 0 {
+		p, q = pathAndQuery[:i], pathAndQuery[i+1:]
+	}
+	req := &httpmsg.Request{Method: "GET", Path: p, Query: q, Header: httpmsg.Header{}}
+	if err := req.Write(conn); err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := httpmsg.ReadResponse(bufio.NewReader(conn), maxBytes)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, resp.Body, nil
+}
+
+// splitLocation turns "http://host:port/path?q" into (host:port, /path?q).
+func splitLocation(loc string) (addr, path string, ok bool) {
+	rest, ok := strings.CutPrefix(loc, "http://")
+	if !ok {
+		return "", "", false
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return rest, "/", true
+	}
+	return rest[:slash], rest[slash:], true
+}
+
+// Post sends a POST with body to path (the footnote-1 extension).
+func (cl *Client) Post(path string, body []byte) (*Result, error) {
+	start := time.Now()
+	node, err := cl.cluster.Resolver.Resolve("", float64(time.Now().UnixNano())/1e9)
+	if err != nil {
+		return nil, err
+	}
+	addr := cl.cluster.Servers[node].Addr()
+	conn, err := net.DialTimeout("tcp", addr, cl.timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(cl.timeout))
+	req := &httpmsg.Request{Method: "POST", Path: path, Header: httpmsg.Header{}, Body: body}
+	if err := req.Write(conn); err != nil {
+		return nil, err
+	}
+	resp, err := httpmsg.ReadResponse(bufio.NewReader(conn), cl.maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Status: resp.StatusCode, Body: resp.Body, ServedBy: addr, Elapsed: time.Since(start)}, nil
+}

@@ -1,0 +1,85 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// GenResult aggregates a load-generation run against the live cluster.
+type GenResult struct {
+	Offered    int
+	Completed  int
+	Failed     int
+	Redirected int
+	Mean       time.Duration
+	Max        time.Duration
+	ByServer   map[string]int
+}
+
+// Generate fires rps requests per second for duration, drawing paths with
+// pick, exactly like the paper's burst tests ("at each second a constant
+// number of requests are launched"). It blocks until every request has
+// finished or failed.
+func (c *Cluster) Generate(rps, seconds int, pick func(i int, rng *rand.Rand) string, seed int64) GenResult {
+	client := c.NewClient()
+	rng := rand.New(rand.NewSource(seed))
+	type outcome struct {
+		ok         bool
+		redirected bool
+		servedBy   string
+		elapsed    time.Duration
+	}
+	total := rps * seconds
+	outcomes := make([]outcome, total)
+	paths := make([]string, total)
+	for i := range paths {
+		paths[i] = pick(i, rng)
+	}
+
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	idx := 0
+	for sec := 0; sec < seconds; sec++ {
+		for k := 0; k < rps; k++ {
+			i := idx
+			idx++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := client.Get(paths[i])
+				if err != nil || res.Status != 200 {
+					return
+				}
+				outcomes[i] = outcome{ok: true, redirected: res.Redirected, servedBy: res.ServedBy, elapsed: res.Elapsed}
+			}()
+		}
+		if sec < seconds-1 {
+			<-ticker.C
+		}
+	}
+	wg.Wait()
+
+	out := GenResult{Offered: total, ByServer: make(map[string]int)}
+	var sum time.Duration
+	for _, o := range outcomes {
+		if !o.ok {
+			out.Failed++
+			continue
+		}
+		out.Completed++
+		if o.redirected {
+			out.Redirected++
+		}
+		sum += o.elapsed
+		if o.elapsed > out.Max {
+			out.Max = o.elapsed
+		}
+		out.ByServer[o.servedBy]++
+	}
+	if out.Completed > 0 {
+		out.Mean = sum / time.Duration(out.Completed)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package loadd implements SWEB's load daemon state: each node periodically
+// broadcasts its CPU, disk, and network loads (every 2-3 seconds); peers
+// store the samples, mark nodes that stay silent past a preset timeout as
+// unavailable, and conservatively bump a peer's CPU load by Δ = 30% each
+// time a request is redirected to it, so that several nodes acting on the
+// same stale broadcast do not simultaneously dogpile an apparently idle
+// peer ("unsynchronized overloading", Sec. 3.2).
+//
+// The Table is pure bookkeeping over float64 timestamps, so the identical
+// code backs the discrete-event simulator (sim-time seconds) and the live
+// UDP daemon (wall-clock seconds).
+package loadd
+
+import (
+	"fmt"
+	"sync"
+
+	"sweb/internal/core"
+)
+
+// Sample is one load broadcast from a node.
+type Sample struct {
+	Node     int
+	CPULoad  float64
+	DiskLoad float64
+	NetLoad  float64
+
+	// Static capabilities travel with the sample so that nodes joining
+	// the resource pool are usable without extra configuration exchange.
+	CPUOpsPerSec    float64
+	DiskBytesPerSec float64
+	NetBytesPerSec  float64
+
+	// SentAt is the sender's timestamp in seconds.
+	SentAt float64
+
+	// CacheHints lists the sender's hottest cached document paths —
+	// the cooperative-caching digest (the authors' follow-up work:
+	// peers that know a document is hot in a remote memory can route
+	// requests there instead of to the owner's disk).
+	CacheHints []string
+}
+
+// Validate reports obviously corrupt samples (negative loads or rates),
+// which the live UDP listener drops rather than poisoning the table.
+func (s Sample) Validate() error {
+	switch {
+	case s.Node < 0:
+		return fmt.Errorf("loadd: negative node id %d", s.Node)
+	case s.CPULoad < 0 || s.DiskLoad < 0 || s.NetLoad < 0:
+		return fmt.Errorf("loadd: node %d: negative load", s.Node)
+	case s.CPUOpsPerSec <= 0 || s.DiskBytesPerSec <= 0 || s.NetBytesPerSec <= 0:
+		return fmt.Errorf("loadd: node %d: non-positive capability", s.Node)
+	case len(s.CacheHints) > MaxCacheHints:
+		return fmt.Errorf("loadd: node %d: %d cache hints exceeds %d", s.Node, len(s.CacheHints), MaxCacheHints)
+	}
+	for _, h := range s.CacheHints {
+		if h == "" || len(h) > MaxHintLen {
+			return fmt.Errorf("loadd: node %d: malformed cache hint", s.Node)
+		}
+	}
+	return nil
+}
+
+// Limits on the cooperative-caching digest, bounding datagram size.
+const (
+	MaxCacheHints = 32
+	MaxHintLen    = 255
+)
+
+type entry struct {
+	sample     Sample
+	receivedAt float64
+	haveSample bool
+	// bumps counts redirects issued to this peer since its last broadcast;
+	// each adds Δ·CPUOpsPerSec-normalized load. Reset on fresh samples.
+	bumps int
+}
+
+// Table is one node's view of the whole resource pool.
+type Table struct {
+	mu      sync.Mutex
+	self    int
+	timeout float64 // seconds of silence before a peer is unavailable
+	delta   float64 // Δ, the anti-herd CPU bump per redirect
+	entries map[int]*entry
+}
+
+// NewTable creates a table for node self. timeout is the silence threshold
+// in seconds ("a preset period of time"); delta is Δ (0.30 in the paper).
+func NewTable(self int, timeout, delta float64) *Table {
+	if timeout <= 0 {
+		panic("loadd: timeout must be positive")
+	}
+	if delta < 0 {
+		panic("loadd: delta must be non-negative")
+	}
+	return &Table{self: self, timeout: timeout, delta: delta, entries: make(map[int]*entry)}
+}
+
+// Self returns the owning node id.
+func (t *Table) Self() int { return t.self }
+
+// Update records a broadcast received at time now (seconds). A fresh sample
+// clears any accumulated redirect bumps for that peer. Invalid samples are
+// ignored and reported.
+func (t *Table) Update(s Sample, now float64) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[s.Node]
+	if e == nil {
+		e = &entry{}
+		t.entries[s.Node] = e
+	}
+	// Out-of-order datagrams: keep the newest sender timestamp.
+	if e.haveSample && s.SentAt < e.sample.SentAt {
+		return nil
+	}
+	e.sample = s
+	e.receivedAt = now
+	e.haveSample = true
+	e.bumps = 0
+	return nil
+}
+
+// Bump conservatively inflates the local view of node's CPU load after
+// redirecting a request to it. The bump decays when the peer's next
+// broadcast arrives.
+func (t *Table) Bump(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[node]; e != nil {
+		e.bumps++
+	}
+}
+
+// Known returns the node ids with at least one sample, in unspecified order.
+func (t *Table) Known() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, len(t.entries))
+	for id, e := range t.entries {
+		if e.haveSample {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Available reports whether node has broadcast within the timeout as of now.
+func (t *Table) Available(node int, now float64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[node]
+	return e != nil && e.haveSample && now-e.receivedAt <= t.timeout
+}
+
+// Forget drops a peer entirely (a node leaving the resource pool
+// gracefully). Silent departures are handled by the timeout.
+func (t *Table) Forget(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, node)
+}
+
+// CachedAt reports whether node's last broadcast advertised path in its
+// cache digest. Stale entries (past the timeout) report false.
+func (t *Table) CachedAt(node int, path string, now float64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[node]
+	if e == nil || !e.haveSample || now-e.receivedAt > t.timeout {
+		return false
+	}
+	for _, h := range e.sample.CacheHints {
+		if h == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot renders the table as the broker's []core.NodeLoad, indexed by
+// node id 0..n-1, applying staleness and bumps as of time now (seconds).
+// Nodes without a recent sample have Available == false.
+func (t *Table) Snapshot(n int, now float64) []core.NodeLoad {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	loads := make([]core.NodeLoad, n)
+	for id := 0; id < n; id++ {
+		e := t.entries[id]
+		if e == nil || !e.haveSample {
+			continue
+		}
+		if now-e.receivedAt > t.timeout {
+			continue // silent too long: unavailable
+		}
+		s := e.sample
+		// Each redirect since the last broadcast adds Δ load (relative to
+		// one runnable job), i.e. Δ=0.3 means "assume the request I just
+		// sent adds 30% of a job's worth of extra pressure". The paper
+		// bumps the CPU load — the only input of its t_CPU term that the
+		// sender influences; this multi-faceted table bumps the whole
+		// vector so the same anti-herd logic protects the disk and
+		// network terms that dominate large-file costs.
+		bump := t.delta * float64(e.bumps)
+		loads[id] = core.NodeLoad{
+			Available:       true,
+			CPULoad:         s.CPULoad + bump*(1+s.CPULoad),
+			DiskLoad:        s.DiskLoad + bump*(1+s.DiskLoad),
+			NetLoad:         s.NetLoad + bump*(1+s.NetLoad),
+			CPUOpsPerSec:    s.CPUOpsPerSec,
+			DiskBytesPerSec: s.DiskBytesPerSec,
+			NetBytesPerSec:  s.NetBytesPerSec,
+		}
+	}
+	return loads
+}

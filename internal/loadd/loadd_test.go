@@ -1,0 +1,361 @@
+package loadd
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func sample(node int, cpu, disk, net float64, sentAt float64) Sample {
+	return Sample{
+		Node: node, CPULoad: cpu, DiskLoad: disk, NetLoad: net,
+		CPUOpsPerSec: 40e6, DiskBytesPerSec: 5e6, NetBytesPerSec: 4.5e6,
+		SentAt: sentAt,
+	}
+}
+
+func TestSampleValidate(t *testing.T) {
+	if err := sample(0, 1, 1, 1, 0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Sample{
+		{Node: -1, CPUOpsPerSec: 1, DiskBytesPerSec: 1, NetBytesPerSec: 1},
+		sample(0, -1, 0, 0, 0),
+		sample(0, 0, -1, 0, 0),
+		sample(0, 0, 0, -1, 0),
+		{Node: 0, CPUOpsPerSec: 0, DiskBytesPerSec: 1, NetBytesPerSec: 1},
+		{Node: 0, CPUOpsPerSec: 1, DiskBytesPerSec: 0, NetBytesPerSec: 1},
+		{Node: 0, CPUOpsPerSec: 1, DiskBytesPerSec: 1, NetBytesPerSec: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid sample accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestTableUpdateAndSnapshot(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	if err := tb.Update(sample(1, 2, 3, 4, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	loads := tb.Snapshot(2, 2)
+	if !loads[1].Available {
+		t.Fatal("fresh sample unavailable")
+	}
+	if loads[1].CPULoad != 2 || loads[1].DiskLoad != 3 || loads[1].NetLoad != 4 {
+		t.Fatalf("loads = %+v", loads[1])
+	}
+	if loads[0].Available {
+		t.Fatal("node without a sample should be unavailable")
+	}
+}
+
+func TestTableRejectsInvalidSamples(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	if err := tb.Update(Sample{Node: 1}, 0); err == nil {
+		t.Fatal("invalid sample accepted")
+	}
+	if tb.Available(1, 0) {
+		t.Fatal("table poisoned by invalid sample")
+	}
+}
+
+func TestTableStalenessTimeout(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 1, 1, 1, 0), 0)
+	if !tb.Available(1, 7.9) {
+		t.Fatal("node timed out too early")
+	}
+	if tb.Available(1, 8.1) {
+		t.Fatal("silent node not marked unavailable")
+	}
+	if loads := tb.Snapshot(2, 9); loads[1].Available {
+		t.Fatal("stale node available in snapshot")
+	}
+	// A new broadcast revives it (joining the pool again).
+	_ = tb.Update(sample(1, 1, 1, 1, 9), 9)
+	if !tb.Available(1, 9.5) {
+		t.Fatal("rejoined node unavailable")
+	}
+}
+
+func TestTableOutOfOrderSamplesIgnored(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 5, 0, 0, 10), 10)
+	_ = tb.Update(sample(1, 99, 0, 0, 4), 10.1) // older SentAt
+	if got := tb.Snapshot(2, 10.2)[1].CPULoad; got != 5 {
+		t.Fatalf("stale datagram overwrote table: cpu=%v", got)
+	}
+}
+
+func TestBumpInflatesAllFacets(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 1, 2, 3, 0), 0)
+	tb.Bump(1)
+	loads := tb.Snapshot(2, 1)
+	// bump = 0.3: load + 0.3*(1+load)
+	if math.Abs(loads[1].CPULoad-(1+0.3*2)) > 1e-9 {
+		t.Fatalf("cpu after bump = %v", loads[1].CPULoad)
+	}
+	if math.Abs(loads[1].DiskLoad-(2+0.3*3)) > 1e-9 {
+		t.Fatalf("disk after bump = %v", loads[1].DiskLoad)
+	}
+	if math.Abs(loads[1].NetLoad-(3+0.3*4)) > 1e-9 {
+		t.Fatalf("net after bump = %v", loads[1].NetLoad)
+	}
+}
+
+func TestBumpsAccumulateAndResetOnUpdate(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 0, 0, 0, 0), 0)
+	tb.Bump(1)
+	tb.Bump(1)
+	loads := tb.Snapshot(2, 1)
+	if math.Abs(loads[1].CPULoad-0.6) > 1e-9 {
+		t.Fatalf("two bumps = %v", loads[1].CPULoad)
+	}
+	// Fresh broadcast clears the conservative inflation.
+	_ = tb.Update(sample(1, 0, 0, 0, 2), 2)
+	if got := tb.Snapshot(2, 2.5)[1].CPULoad; got != 0 {
+		t.Fatalf("bump survived a fresh sample: %v", got)
+	}
+}
+
+func TestBumpUnknownNodeIsNoop(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	tb.Bump(7) // must not panic or create an entry
+	if len(tb.Known()) != 0 {
+		t.Fatal("bump created a phantom entry")
+	}
+}
+
+func TestForget(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 1, 1, 1, 0), 0)
+	tb.Forget(1)
+	if tb.Available(1, 0.1) {
+		t.Fatal("forgotten node still available")
+	}
+	if len(tb.Known()) != 0 {
+		t.Fatal("forgotten node still known")
+	}
+}
+
+func TestKnown(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 0, 0, 0, 0), 0)
+	_ = tb.Update(sample(3, 0, 0, 0, 0), 0)
+	known := tb.Known()
+	if len(known) != 2 {
+		t.Fatalf("known = %v", known)
+	}
+}
+
+func TestNewTablePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTable(0, 0, 0.3) },
+		func() { NewTable(0, 8, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTableConcurrentAccess(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = tb.Update(sample(g%4, float64(i), 0, 0, float64(i)), float64(i))
+				tb.Bump(g % 4)
+				tb.Snapshot(4, float64(i))
+				tb.Available(g%4, float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func samplesEqual(a, b Sample) bool {
+	if a.Node != b.Node || a.CPULoad != b.CPULoad || a.DiskLoad != b.DiskLoad ||
+		a.NetLoad != b.NetLoad || a.CPUOpsPerSec != b.CPUOpsPerSec ||
+		a.DiskBytesPerSec != b.DiskBytesPerSec || a.NetBytesPerSec != b.NetBytesPerSec ||
+		a.SentAt != b.SentAt || len(a.CacheHints) != len(b.CacheHints) {
+		return false
+	}
+	for i := range a.CacheHints {
+		if a.CacheHints[i] != b.CacheHints[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	s := sample(3, 1.5, 2.25, 0.125, 42.5)
+	var buf [MaxWireSize]byte
+	n, err := EncodeSample(buf[:], s)
+	if err != nil || n != EncodedSize(s) {
+		t.Fatalf("encode: n=%d err=%v", n, err)
+	}
+	got, err := DecodeSample(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samplesEqual(got, s) {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+}
+
+func TestWireRoundTripWithHints(t *testing.T) {
+	s := sample(2, 1, 1, 1, 5)
+	s.CacheHints = []string{"/adl/full/scene0001.img", "/docs/hot.dat", "/x"}
+	var buf [MaxWireSize]byte
+	n, err := EncodeSample(buf[:], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSample(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samplesEqual(got, s) {
+		t.Fatalf("round trip with hints: %+v != %+v", got, s)
+	}
+}
+
+func TestWireRejectsOversizedHints(t *testing.T) {
+	s := sample(0, 0, 0, 0, 0)
+	for i := 0; i <= MaxCacheHints; i++ {
+		s.CacheHints = append(s.CacheHints, "/f")
+	}
+	var buf [2 * MaxWireSize]byte
+	if _, err := EncodeSample(buf[:], s); err == nil {
+		t.Fatal("oversized hint list encoded")
+	}
+}
+
+func TestWireTruncatedHintsRejected(t *testing.T) {
+	s := sample(1, 1, 1, 1, 0)
+	s.CacheHints = []string{"/hot.dat"}
+	var buf [MaxWireSize]byte
+	n, _ := EncodeSample(buf[:], s)
+	for _, cut := range []int{n - 1, WireSize + 1, WireSize + 3} {
+		if _, err := DecodeSample(buf[:cut]); err == nil {
+			t.Errorf("truncated datagram (len %d) decoded", cut)
+		}
+	}
+}
+
+func TestWireEncodeErrors(t *testing.T) {
+	var small [10]byte
+	if _, err := EncodeSample(small[:], sample(0, 0, 0, 0, 0)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	var exact [WireSize]byte // no room for the hint count
+	if _, err := EncodeSample(exact[:], sample(0, 0, 0, 0, 0)); err == nil {
+		t.Fatal("header-only buffer accepted")
+	}
+	var buf [MaxWireSize]byte
+	if _, err := EncodeSample(buf[:], sample(1<<17, 0, 0, 0, 0)); err == nil {
+		t.Fatal("oversized node id accepted")
+	}
+	if _, err := EncodeSample(buf[:], sample(0, -1, 0, 0, 0)); err == nil {
+		t.Fatal("invalid sample encoded")
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	var buf [MaxWireSize]byte
+	n, _ := EncodeSample(buf[:], sample(0, 1, 1, 1, 0))
+	good := buf[:n]
+
+	short := good[:WireSize-1]
+	if _, err := DecodeSample(short); err == nil {
+		t.Fatal("short datagram accepted")
+	}
+	bad := append([]byte(nil), good...)
+	copy(bad[0:4], "XXXX")
+	if _, err := DecodeSample(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badVer := append([]byte(nil), good...)
+	badVer[4], badVer[5] = 0xFF, 0xFF
+	if _, err := DecodeSample(badVer); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Corrupt payload producing an invalid sample (negative load).
+	neg := append([]byte(nil), good...)
+	neg[8] |= 0x80 // flip CPULoad sign bit
+	if _, err := DecodeSample(neg); err == nil {
+		t.Fatal("negative load accepted")
+	}
+}
+
+// Property: encode/decode round-trips any valid sample.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(node uint16, cpu, disk, net uint16, sentAt int32) bool {
+		s := Sample{
+			Node:         int(node),
+			CPULoad:      float64(cpu) / 16,
+			DiskLoad:     float64(disk) / 16,
+			NetLoad:      float64(net) / 16,
+			CPUOpsPerSec: 40e6, DiskBytesPerSec: 5e6, NetBytesPerSec: 4.5e6,
+			SentAt: float64(sentAt),
+		}
+		var buf [MaxWireSize]byte
+		n, err := EncodeSample(buf[:], s)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeSample(buf[:n])
+		return err == nil && samplesEqual(got, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedAt(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	s := sample(1, 0, 0, 0, 0)
+	s.CacheHints = []string{"/hot.dat", "/warm.dat"}
+	_ = tb.Update(s, 0)
+	if !tb.CachedAt(1, "/hot.dat", 1) {
+		t.Fatal("hinted path not found")
+	}
+	if tb.CachedAt(1, "/cold.dat", 1) {
+		t.Fatal("phantom hint")
+	}
+	if tb.CachedAt(2, "/hot.dat", 1) {
+		t.Fatal("unknown node hinted")
+	}
+	// Stale digests are ignored.
+	if tb.CachedAt(1, "/hot.dat", 100) {
+		t.Fatal("stale digest honored")
+	}
+}
+
+func TestSampleValidateHints(t *testing.T) {
+	s := sample(0, 0, 0, 0, 0)
+	s.CacheHints = []string{""}
+	if err := s.Validate(); err == nil {
+		t.Fatal("empty hint accepted")
+	}
+	s.CacheHints = []string{string(make([]byte, MaxHintLen+1))}
+	if err := s.Validate(); err == nil {
+		t.Fatal("overlong hint accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package model
+
+import "container/list"
+
+// FileCache is a byte-capacity LRU cache of whole files, standing in for the
+// Unix buffer cache on each node. The paper attributes its superlinear
+// multi-node speedup to "the total size of memory in SWEB [being] much
+// larger than on a one-node server": with requests spread over p nodes, the
+// aggregate cache is p times larger and the per-node working set p times
+// smaller, so hit rates climb with cluster size.
+type FileCache struct {
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	path string
+	size int64
+}
+
+// NewFileCache returns an LRU cache holding at most capacity bytes.
+// A zero or negative capacity yields a cache that never stores anything.
+func NewFileCache(capacity int64) *FileCache {
+	return &FileCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *FileCache) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently cached.
+func (c *FileCache) Used() int64 { return c.used }
+
+// Len returns the number of cached files.
+func (c *FileCache) Len() int { return c.order.Len() }
+
+// Contains reports whether path is cached, updating hit/miss statistics.
+func (c *FileCache) Contains(path string) bool {
+	if _, ok := c.entries[path]; ok {
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Peek reports whether path is cached without touching statistics or LRU
+// order. Used by the broker when estimating remote nodes' service times.
+func (c *FileCache) Peek(path string) bool {
+	_, ok := c.entries[path]
+	return ok
+}
+
+// Touch moves path to the most-recently-used position.
+func (c *FileCache) Touch(path string) {
+	if el, ok := c.entries[path]; ok {
+		c.order.MoveToFront(el)
+	}
+}
+
+// Insert adds a file, evicting least-recently-used entries to fit. Files
+// larger than the capacity are not cached at all (a 1.5 MB image cannot
+// displace the whole cache usefully under the paper's streaming access
+// pattern).
+func (c *FileCache) Insert(path string, size int64) {
+	if size <= 0 || size > c.capacity {
+		return
+	}
+	if el, ok := c.entries[path]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.used+size > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, ent.path)
+		c.used -= ent.size
+	}
+	el := c.order.PushFront(&cacheEntry{path: path, size: size})
+	c.entries[path] = el
+	c.used += size
+}
+
+// Invalidate removes path if present.
+func (c *FileCache) Invalidate(path string) {
+	if el, ok := c.entries[path]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.entries, path)
+		c.used -= ent.size
+	}
+}
+
+// Hot returns up to n most-recently-used cached paths, hottest first —
+// the digest a node gossips for cooperative caching.
+func (c *FileCache) Hot(n int) []string {
+	if n <= 0 || c.order.Len() == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for el := c.order.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).path)
+	}
+	return out
+}
+
+// Stats returns cumulative Contains() hits and misses.
+func (c *FileCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// HitRate returns the fraction of Contains() calls that hit, or 0 if none.
+func (c *FileCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

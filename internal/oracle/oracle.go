@@ -1,0 +1,227 @@
+// Package oracle implements SWEB's request-characterization module: "a
+// miniature expert system, which uses a user-supplied table to characterize
+// the CPU and disk demands for a particular task" (Sec. 3.1). The broker
+// feeds the resulting demand estimate into the cost formula's t_CPU term
+// ("the estimated number of operations required for the task"); "the
+// parameters for different architectures are saved in a configuration file".
+package oracle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Demand is the oracle's estimate of a request's resource needs.
+type Demand struct {
+	// BaseOps is fixed per-request CPU work beyond preprocessing: forking
+	// the handler process, permission checks, response header generation.
+	BaseOps float64
+	// OpsPerByte is CPU work per response byte: packetizing and marshaling
+	// ("the overhead necessary to send bytes out on the network properly
+	// packetized and marshaled").
+	OpsPerByte float64
+	// CGIOps is additional compute if the request executes a program
+	// ("any known associated computational cost if the request is a CGI
+	// operation").
+	CGIOps float64
+	// DiskBytesPerByte scales disk traffic relative to the file size
+	// (1.0 for plain fetches; CGI may read auxiliary data).
+	DiskBytesPerByte float64
+}
+
+// Ops returns total estimated CPU operations for a response of size bytes.
+func (d Demand) Ops(size int64) float64 {
+	return d.BaseOps + d.OpsPerByte*float64(size) + d.CGIOps
+}
+
+// DiskBytes returns estimated disk traffic for a file of size bytes.
+func (d Demand) DiskBytes(size int64) float64 {
+	return d.DiskBytesPerByte * float64(size)
+}
+
+type rule struct {
+	pattern string
+	demand  Demand
+	// specificity orders rules: longer literal prefixes win.
+	specificity int
+}
+
+// Oracle matches request paths against the user-supplied rule table.
+// Patterns use path.Match syntax matched against the full URL path, plus a
+// trailing "/*" form that matches any path under a prefix. The most
+// specific matching rule wins; ties go to the later rule.
+type Oracle struct {
+	defaults Demand
+	rules    []rule
+}
+
+// DefaultDemand is the stock static-file characterization calibrated to
+// NCSA httpd 1.3 on a 40 Mops/s SuperSparc: 600k base ops ≈ 15 ms of
+// fork+handler setup (preprocessing is charged separately by the server,
+// so a single node tops out near the 5-15 rps the paper's NCSA references
+// report) and 0.12 ops/byte of packetizing/marshaling.
+func DefaultDemand() Demand {
+	return Demand{BaseOps: 0.6e6, OpsPerByte: 0.12, DiskBytesPerByte: 1}
+}
+
+// New creates an oracle with the given default demand for unmatched paths.
+func New(defaults Demand) *Oracle {
+	return &Oracle{defaults: defaults}
+}
+
+// AddRule registers a pattern. Patterns are either path.Match globs
+// ("/docs/*.gif", "*.cgi") or prefix globs ("/adl/full/*").
+func (o *Oracle) AddRule(pattern string, d Demand) error {
+	if pattern == "" {
+		return fmt.Errorf("oracle: empty pattern")
+	}
+	if _, err := path.Match(normalizeGlob(pattern), "/probe"); err != nil {
+		return fmt.Errorf("oracle: bad pattern %q: %v", pattern, err)
+	}
+	o.rules = append(o.rules, rule{pattern: pattern, demand: d, specificity: literalLen(pattern)})
+	sort.SliceStable(o.rules, func(i, j int) bool {
+		return o.rules[i].specificity < o.rules[j].specificity
+	})
+	return nil
+}
+
+// Characterize returns the demand estimate for a request path.
+func (o *Oracle) Characterize(p string) Demand {
+	best := o.defaults
+	for _, r := range o.rules { // ascending specificity: last match wins
+		if matchPattern(r.pattern, p) {
+			best = r.demand
+		}
+	}
+	return best
+}
+
+// Rules returns the number of installed rules.
+func (o *Oracle) Rules() int { return len(o.rules) }
+
+func literalLen(pattern string) int {
+	n := 0
+	for _, c := range pattern {
+		if c != '*' && c != '?' && c != '[' && c != ']' {
+			n++
+		}
+	}
+	return n
+}
+
+func normalizeGlob(pattern string) string {
+	if strings.HasSuffix(pattern, "/*") {
+		return pattern[:len(pattern)-2] + "/*"
+	}
+	return pattern
+}
+
+func matchPattern(pattern, p string) bool {
+	// Prefix form: "/adl/full/*" matches any depth under the prefix.
+	if strings.HasSuffix(pattern, "/*") {
+		return strings.HasPrefix(p, pattern[:len(pattern)-1])
+	}
+	// Extension form: "*.cgi" matches the basename anywhere.
+	if strings.HasPrefix(pattern, "*.") {
+		return strings.HasSuffix(p, pattern[1:])
+	}
+	ok, err := path.Match(pattern, p)
+	return err == nil && ok
+}
+
+// ParseConfig reads the oracle's configuration-file format:
+//
+//	# comment
+//	default  cpu_base=400000 cpu_per_byte=0.12
+//	match *.cgi      cpu_base=800000 cgi_ops=40000000
+//	match /adl/full/* cpu_per_byte=0.10 disk_per_byte=1.0
+//
+// Each "match" line starts from the default demand and overrides the listed
+// keys. Lines are whitespace-separated; unknown keys are an error.
+func ParseConfig(r io.Reader) (*Oracle, error) {
+	sc := bufio.NewScanner(r)
+	defaults := DefaultDemand()
+	type pending struct {
+		pattern string
+		kv      []string
+	}
+	var matches []pending
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "default":
+			if err := applyKVs(&defaults, fields[1:]); err != nil {
+				return nil, fmt.Errorf("oracle: line %d: %v", lineNo, err)
+			}
+		case "match":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("oracle: line %d: match needs a pattern", lineNo)
+			}
+			matches = append(matches, pending{pattern: fields[1], kv: fields[2:]})
+		default:
+			return nil, fmt.Errorf("oracle: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("oracle: read: %v", err)
+	}
+	o := New(defaults)
+	for i, m := range matches {
+		d := defaults
+		if err := applyKVs(&d, m.kv); err != nil {
+			return nil, fmt.Errorf("oracle: match %d (%s): %v", i+1, m.pattern, err)
+		}
+		if err := o.AddRule(m.pattern, d); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+func applyKVs(d *Demand, kvs []string) error {
+	for _, kv := range kvs {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return fmt.Errorf("expected key=value, got %q", kv)
+		}
+		key, val := kv[:eq], kv[eq+1:]
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad value for %s: %v", key, err)
+		}
+		if f < 0 {
+			return fmt.Errorf("%s must be non-negative", key)
+		}
+		switch key {
+		case "cpu_base":
+			d.BaseOps = f
+		case "cpu_per_byte":
+			d.OpsPerByte = f
+		case "cgi_ops":
+			d.CGIOps = f
+		case "disk_per_byte":
+			d.DiskBytesPerByte = f
+		default:
+			return fmt.Errorf("unknown key %q", key)
+		}
+	}
+	return nil
+}
+
+// FormatConfig renders an oracle-config default line for the given demand,
+// handy for writing architecture parameter files.
+func FormatConfig(d Demand) string {
+	return fmt.Sprintf("default cpu_base=%g cpu_per_byte=%g cgi_ops=%g disk_per_byte=%g",
+		d.BaseOps, d.OpsPerByte, d.CGIOps, d.DiskBytesPerByte)
+}

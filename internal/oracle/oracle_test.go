@@ -1,0 +1,189 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDemandOpsAndDiskBytes(t *testing.T) {
+	d := Demand{BaseOps: 100, OpsPerByte: 0.5, CGIOps: 1000, DiskBytesPerByte: 2}
+	if got := d.Ops(10); got != 100+5+1000 {
+		t.Fatalf("Ops = %v", got)
+	}
+	if got := d.DiskBytes(10); got != 20 {
+		t.Fatalf("DiskBytes = %v", got)
+	}
+}
+
+func TestCharacterizeDefault(t *testing.T) {
+	o := New(Demand{BaseOps: 7})
+	if got := o.Characterize("/anything"); got.BaseOps != 7 {
+		t.Fatalf("default not applied: %+v", got)
+	}
+	if o.Rules() != 0 {
+		t.Fatalf("rules = %d", o.Rules())
+	}
+}
+
+func TestExtensionRule(t *testing.T) {
+	o := New(DefaultDemand())
+	if err := o.AddRule("*.cgi", Demand{BaseOps: 1, CGIOps: 5e6, DiskBytesPerByte: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Characterize("/cgi-bin/deep/query.cgi"); got.CGIOps != 5e6 {
+		t.Fatalf("extension rule missed: %+v", got)
+	}
+	if got := o.Characterize("/a.html"); got.CGIOps != 0 {
+		t.Fatalf("extension rule overmatched: %+v", got)
+	}
+}
+
+func TestPrefixRule(t *testing.T) {
+	o := New(DefaultDemand())
+	if err := o.AddRule("/adl/full/*", Demand{BaseOps: 9, DiskBytesPerByte: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Characterize("/adl/full/deep/scene.img"); got.BaseOps != 9 {
+		t.Fatalf("prefix rule missed: %+v", got)
+	}
+	if got := o.Characterize("/adl/browse/x.gif"); got.BaseOps == 9 {
+		t.Fatalf("prefix rule overmatched: %+v", got)
+	}
+}
+
+func TestMoreSpecificRuleWins(t *testing.T) {
+	o := New(DefaultDemand())
+	if err := o.AddRule("/adl/*", Demand{BaseOps: 1, DiskBytesPerByte: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddRule("/adl/full/*", Demand{BaseOps: 2, DiskBytesPerByte: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Characterize("/adl/full/scene.img"); got.BaseOps != 2 {
+		t.Fatalf("specific rule lost: %+v", got)
+	}
+	if got := o.Characterize("/adl/meta.html"); got.BaseOps != 1 {
+		t.Fatalf("general rule lost: %+v", got)
+	}
+}
+
+func TestSpecificityIndependentOfInsertOrder(t *testing.T) {
+	o := New(DefaultDemand())
+	// Insert the specific one first — it must still win.
+	_ = o.AddRule("/adl/full/*", Demand{BaseOps: 2, DiskBytesPerByte: 1})
+	_ = o.AddRule("/adl/*", Demand{BaseOps: 1, DiskBytesPerByte: 1})
+	if got := o.Characterize("/adl/full/scene.img"); got.BaseOps != 2 {
+		t.Fatalf("insert order changed the winner: %+v", got)
+	}
+}
+
+func TestExactGlobRule(t *testing.T) {
+	o := New(DefaultDemand())
+	_ = o.AddRule("/docs/u*.dat", Demand{BaseOps: 3, DiskBytesPerByte: 1})
+	if got := o.Characterize("/docs/u000001.dat"); got.BaseOps != 3 {
+		t.Fatalf("glob rule missed: %+v", got)
+	}
+}
+
+func TestAddRuleErrors(t *testing.T) {
+	o := New(DefaultDemand())
+	if err := o.AddRule("", Demand{}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if err := o.AddRule("[bad", Demand{}); err == nil {
+		t.Fatal("malformed glob accepted")
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	conf := `
+# architecture parameters for the Meiko CS-2
+default cpu_base=500000 cpu_per_byte=0.25
+match *.cgi  cgi_ops=40000000
+match /adl/full/* cpu_per_byte=0.1 disk_per_byte=1.5
+`
+	o, err := ParseConfig(strings.NewReader(conf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Rules() != 2 {
+		t.Fatalf("rules = %d", o.Rules())
+	}
+	d := o.Characterize("/plain.html")
+	if d.BaseOps != 500000 || d.OpsPerByte != 0.25 {
+		t.Fatalf("default = %+v", d)
+	}
+	d = o.Characterize("/cgi-bin/q.cgi")
+	if d.CGIOps != 4e7 || d.BaseOps != 500000 {
+		t.Fatalf("cgi rule = %+v", d)
+	}
+	d = o.Characterize("/adl/full/x.img")
+	if d.OpsPerByte != 0.1 || d.DiskBytesPerByte != 1.5 {
+		t.Fatalf("adl rule = %+v", d)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []string{
+		"bogus directive\n",
+		"default cpu_base\n",      // no '='
+		"default cpu_base=abc\n",  // bad float
+		"default cpu_base=-1\n",   // negative
+		"default turbo=1\n",       // unknown key
+		"match\n",                 // missing pattern
+		"match [bad cpu_base=1\n", // malformed pattern
+		"match /x/* nonsense=1\n", // unknown key on match
+	}
+	for _, in := range cases {
+		if _, err := ParseConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("config %q parsed without error", in)
+		}
+	}
+}
+
+func TestFormatConfigRoundTrip(t *testing.T) {
+	d := Demand{BaseOps: 123, OpsPerByte: 0.5, CGIOps: 9, DiskBytesPerByte: 2}
+	o, err := ParseConfig(strings.NewReader(FormatConfig(d)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Characterize("/x"); got != d {
+		t.Fatalf("round trip: %+v != %+v", got, d)
+	}
+}
+
+func TestDefaultDemandIsSane(t *testing.T) {
+	d := DefaultDemand()
+	if d.BaseOps <= 0 || d.OpsPerByte <= 0 || d.DiskBytesPerByte != 1 {
+		t.Fatalf("default demand = %+v", d)
+	}
+	// A 1.5 MB fetch must cost far more disk than CPU time on the
+	// calibrated hardware (disk-bound workload).
+	cpuSecs := d.Ops(1536<<10) / 40e6
+	diskSecs := d.DiskBytes(1536<<10) / 5e6
+	if cpuSecs > diskSecs {
+		t.Fatalf("1.5MB fetch CPU-bound: cpu=%v disk=%v", cpuSecs, diskSecs)
+	}
+}
+
+// Property: Ops is monotone in size for non-negative demands.
+func TestOpsMonotoneProperty(t *testing.T) {
+	f := func(base, per float64, a, b uint32) bool {
+		if base < 0 {
+			base = -base
+		}
+		if per < 0 {
+			per = -per
+		}
+		d := Demand{BaseOps: base, OpsPerByte: per}
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return d.Ops(x) <= d.Ops(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package simsrv
+
+import (
+	"math/rand"
+	"testing"
+
+	"sweb/internal/des"
+	"sweb/internal/stats"
+	"sweb/internal/storage"
+	"sweb/internal/trace"
+	"sweb/internal/workload"
+)
+
+func TestForwardingServesEverything(t *testing.T) {
+	st := storage.NewStore(3)
+	// All files on node 2 so reassignment definitely happens.
+	var paths []string
+	for _, p := range []string{"/a.dat", "/b.dat"} {
+		st.MustAdd(storage.File{Path: p, Size: 256 << 10, Owner: 2})
+		paths = append(paths, p)
+	}
+	cfg := MeikoConfig(3, st)
+	cfg.Policy = PolicyFileLocality
+	cfg.Reassign = ReassignForward
+	res := runBurst(t, cfg, 4, 5, paths)
+	if res.Completed != res.Offered {
+		t.Fatalf("completed %d of %d", res.Completed, res.Offered)
+	}
+	if res.Redirects == 0 {
+		t.Fatal("no reassignments despite foreign arrivals")
+	}
+	// Forwarded requests are *served by* the owner even though the client
+	// never reconnects.
+	if res.PerNodeServed[2] != res.Completed {
+		t.Fatalf("owner served %d of %d", res.PerNodeServed[2], res.Completed)
+	}
+}
+
+func TestForwardingInvalidMechanismRejected(t *testing.T) {
+	st, _ := smallStore(2, 2, 1024)
+	cfg := MeikoConfig(2, st)
+	cfg.Reassign = "smoke-signals"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bogus reassignment mechanism accepted")
+	}
+}
+
+func TestForwardingToDeadTargetDrops(t *testing.T) {
+	st := storage.NewStore(2)
+	hot := storage.SkewedSet(st, 256<<10) // owned by node 0
+	cfg := MeikoConfig(2, st)
+	cfg.Policy = PolicyFileLocality
+	cfg.Reassign = ReassignForward
+	cfg.LoaddTimeout = 1000 // keep the stale entry "available"
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.FailNodeAt(0, 0)
+	burst := workload.Burst{RPS: 4, DurationSeconds: 3, Jitter: true}
+	arr, _ := burst.Generate(workload.SinglePicker(hot), nil, rand.New(rand.NewSource(2)))
+	res := cl.RunSchedule(arr)
+	// Arrivals at node 1 forward toward dead node 0 and fail; arrivals at
+	// node 0 are refused outright. Nothing completes, nothing hangs.
+	if res.Completed != 0 {
+		t.Fatalf("completed %d with the only owner dead", res.Completed)
+	}
+	if res.Drops[stats.DropUnavailable] == 0 {
+		t.Fatal("no unavailable drops recorded")
+	}
+}
+
+func TestDispatcherRoutesEverythingThroughNodeZero(t *testing.T) {
+	st := storage.NewStore(3)
+	var paths []string
+	for i, p := range []string{"/a.dat", "/b.dat"} {
+		st.MustAdd(storage.File{Path: p, Size: 64 << 10, Owner: 1 + i})
+		paths = append(paths, p)
+	}
+	cfg := MeikoConfig(3, st)
+	cfg.Dispatcher = true
+	res := runBurst(t, cfg, 4, 5, paths)
+	if res.Completed != res.Offered {
+		t.Fatalf("completed %d of %d", res.Completed, res.Offered)
+	}
+	if res.PerNodeServed[0] != 0 {
+		t.Fatalf("dispatcher served %d requests itself", res.PerNodeServed[0])
+	}
+	// Every request was redirected exactly once by the dispatcher.
+	if res.Redirects != res.Completed {
+		t.Fatalf("redirects %d != completed %d", res.Redirects, res.Completed)
+	}
+}
+
+func TestDispatcherNeedsWorkers(t *testing.T) {
+	st, _ := smallStore(1, 1, 1024)
+	cfg := MeikoConfig(1, st)
+	cfg.Dispatcher = true
+	if _, err := New(cfg); err == nil {
+		t.Fatal("single-node dispatcher accepted")
+	}
+}
+
+func TestDispatcherDeathKillsService(t *testing.T) {
+	st := storage.NewStore(3)
+	st.MustAdd(storage.File{Path: "/a.dat", Size: 1024, Owner: 1})
+	cfg := MeikoConfig(3, st)
+	cfg.Dispatcher = true
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.FailNodeAt(0, 0)
+	burst := workload.Burst{RPS: 4, DurationSeconds: 3, Jitter: true}
+	arr, _ := burst.Generate(workload.SinglePicker("/a.dat"), nil, rand.New(rand.NewSource(3)))
+	res := cl.RunSchedule(arr)
+	if res.Completed != 0 {
+		t.Fatalf("the single point of failure is down yet %d completed", res.Completed)
+	}
+}
+
+func TestLoaddLossRateValidation(t *testing.T) {
+	st, _ := smallStore(2, 2, 1024)
+	for _, bad := range []float64{-0.1, 1.0, 2} {
+		cfg := MeikoConfig(2, st)
+		cfg.LoaddLossRate = bad
+		if _, err := New(cfg); err == nil {
+			t.Errorf("loss rate %v accepted", bad)
+		}
+	}
+}
+
+func TestLoaddLossDropsDatagramsButServiceSurvives(t *testing.T) {
+	st, paths := smallStore(3, 6, 64<<10)
+	cfg := MeikoConfig(3, st)
+	cfg.LoaddLossRate = 0.6
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := workload.Burst{RPS: 6, DurationSeconds: 10, Jitter: true}
+	arr, _ := burst.Generate(workload.UniformPicker(paths), nil, rand.New(rand.NewSource(4)))
+	res := cl.RunSchedule(arr)
+	if cl.LostBroadcasts() == 0 {
+		t.Fatal("loss injection dropped nothing")
+	}
+	if res.DropRate() > 0.01 {
+		t.Fatalf("gossip loss caused request drops: %v", res.DropRate())
+	}
+}
+
+func TestTraceCapturesLifecycle(t *testing.T) {
+	st, paths := smallStore(2, 2, 64<<10)
+	cfg := MeikoConfig(2, st)
+	rec := trace.NewRecorder(0)
+	cfg.Trace = rec
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := workload.Burst{RPS: 2, DurationSeconds: 2, Jitter: true}
+	arr, _ := burst.Generate(workload.UniformPicker(paths), nil, rand.New(rand.NewSource(5)))
+	res := cl.RunSchedule(arr)
+
+	sum := trace.Summarize(rec.Events())
+	if sum.Requests != int(res.Offered) {
+		t.Fatalf("traced %d requests, offered %d", sum.Requests, res.Offered)
+	}
+	if sum.Completed != int(res.Completed) {
+		t.Fatalf("traced %d deliveries, completed %d", sum.Completed, res.Completed)
+	}
+	// Every request shows the full Figure 1 sequence.
+	for _, id := range rec.Requests() {
+		span := rec.Span(id)
+		kinds := map[trace.Kind]bool{}
+		for _, e := range span {
+			kinds[e.Kind] = true
+		}
+		for _, want := range []trace.Kind{trace.EvIssued, trace.EvResolved,
+			trace.EvConnected, trace.EvParsed, trace.EvAnalyzed, trace.EvDelivered} {
+			if !kinds[want] {
+				t.Fatalf("request %d missing %s:\n%s", id, want, trace.RenderSpan(span))
+			}
+		}
+	}
+}
+
+func TestTraceRecordsMakespan(t *testing.T) {
+	st, paths := smallStore(2, 2, 1024)
+	cfg := MeikoConfig(2, st)
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := workload.Burst{RPS: 2, DurationSeconds: 2, Jitter: true}
+	arr, _ := burst.Generate(workload.UniformPicker(paths), nil, rand.New(rand.NewSource(6)))
+	cl.RunSchedule(arr)
+	if cl.Makespan() <= 0 || cl.Makespan() > 10*des.Second {
+		t.Fatalf("makespan = %v", cl.Makespan())
+	}
+}
+
+func TestCacheHintsValidation(t *testing.T) {
+	st, _ := smallStore(2, 2, 1024)
+	cfg := MeikoConfig(2, st)
+	cfg.CacheHints = 1000
+	if _, err := New(cfg); err == nil {
+		t.Fatal("oversized hint count accepted")
+	}
+}
+
+func TestCacheHintsSpreadHotDocuments(t *testing.T) {
+	run := func(hints int) *stats.RunResult {
+		st := storage.NewStore(3)
+		hot := storage.SkewedSet(st, 512<<10)
+		cfg := MeikoConfig(3, st)
+		cfg.CacheHints = hints
+		cfg.Seed = 7
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		burst := workload.Burst{RPS: 6, DurationSeconds: 10, Jitter: true}
+		arr, _ := burst.Generate(workload.SinglePicker(hot), nil, rand.New(rand.NewSource(8)))
+		return cl.RunSchedule(arr)
+	}
+	with := run(8)
+	without := run(0)
+	if with.Completed != with.Offered || without.Completed != without.Offered {
+		t.Fatal("drops in hot-file run")
+	}
+	// With hints the brokers know every node caches the hot file; the run
+	// must not be slower than the blind one.
+	if with.MeanResponse() > without.MeanResponse()*1.2 {
+		t.Fatalf("hints hurt: %.3fs vs %.3fs", with.MeanResponse(), without.MeanResponse())
+	}
+}

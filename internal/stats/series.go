@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TimeSeries accumulates values into fixed one-second buckets, for
+// throughput-over-time views of a run (completions per second, bytes per
+// second).
+type TimeSeries struct {
+	buckets []float64
+}
+
+// Add accumulates v into the bucket containing time atSec (seconds from
+// the run start). Negative times are ignored.
+func (ts *TimeSeries) Add(atSec, v float64) {
+	if atSec < 0 || math.IsNaN(atSec) {
+		return
+	}
+	idx := int(atSec)
+	for len(ts.buckets) <= idx {
+		ts.buckets = append(ts.buckets, 0)
+	}
+	ts.buckets[idx] += v
+}
+
+// Buckets returns a copy of the per-second totals.
+func (ts *TimeSeries) Buckets() []float64 {
+	return append([]float64(nil), ts.buckets...)
+}
+
+// Len returns the number of buckets (the covered duration in seconds).
+func (ts *TimeSeries) Len() int { return len(ts.buckets) }
+
+// Peak returns the largest bucket value.
+func (ts *TimeSeries) Peak() float64 {
+	var m float64
+	for _, v := range ts.buckets {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average bucket value.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.buckets) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range ts.buckets {
+		sum += v
+	}
+	return sum / float64(len(ts.buckets))
+}
+
+// RenderSparkline draws the series as a one-line bar chart, scaled to the
+// peak; the paper-era equivalent of a throughput plot in a terminal.
+func (ts *TimeSeries) RenderSparkline() string {
+	if len(ts.buckets) == 0 {
+		return "(empty)"
+	}
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	peak := ts.Peak()
+	var b strings.Builder
+	for _, v := range ts.buckets {
+		idx := 0
+		if peak > 0 {
+			idx = int(v / peak * float64(len(levels)-1))
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// RenderHistogram draws a Summary's value distribution as an ASCII
+// histogram with the given number of equal-width buckets.
+func RenderHistogram(s *Summary, buckets int, unit string) string {
+	if s.N() == 0 {
+		return "(no samples)\n"
+	}
+	if buckets <= 0 {
+		buckets = 10
+	}
+	lo, hi := s.Min(), s.Max()
+	width := (hi - lo) / float64(buckets)
+	if width <= 0 {
+		return fmt.Sprintf("all %d samples = %.3g%s\n", s.N(), lo, unit)
+	}
+	counts := make([]int, buckets)
+	for _, v := range s.values {
+		idx := int((v - lo) / width)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		counts[idx]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		barLen := 0
+		if maxCount > 0 {
+			barLen = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "%10.3g-%-10.3g %-40s %d\n",
+			lo+float64(i)*width, lo+float64(i+1)*width,
+			strings.Repeat("#", barLen), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeSeriesBasics(t *testing.T) {
+	var ts TimeSeries
+	if ts.Len() != 0 || ts.Peak() != 0 || ts.Mean() != 0 {
+		t.Fatal("empty series not zero")
+	}
+	ts.Add(0.5, 1)
+	ts.Add(0.9, 1)
+	ts.Add(2.1, 3)
+	if ts.Len() != 3 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	b := ts.Buckets()
+	if b[0] != 2 || b[1] != 0 || b[2] != 3 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if ts.Peak() != 3 {
+		t.Fatalf("peak = %v", ts.Peak())
+	}
+	if got := ts.Mean(); got < 1.66 || got > 1.67 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestTimeSeriesIgnoresNegativeAndNaN(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(-1, 5)
+	ts.Add(nan(), 5)
+	if ts.Len() != 0 {
+		t.Fatal("invalid times created buckets")
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+
+func TestSparkline(t *testing.T) {
+	var ts TimeSeries
+	if ts.RenderSparkline() != "(empty)" {
+		t.Fatal("empty sparkline")
+	}
+	ts.Add(0, 0)
+	ts.Add(1, 5)
+	ts.Add(2, 10)
+	line := []rune(ts.RenderSparkline())
+	if len(line) != 3 {
+		t.Fatalf("sparkline %q", string(line))
+	}
+	if line[2] != '█' {
+		t.Fatalf("peak bucket is %q", line[2])
+	}
+	if line[0] == '█' {
+		t.Fatal("zero bucket rendered full")
+	}
+}
+
+func TestBucketsAreACopy(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 1)
+	b := ts.Buckets()
+	b[0] = 99
+	if ts.Buckets()[0] != 1 {
+		t.Fatal("Buckets leaked internal state")
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	var s Summary
+	if RenderHistogram(&s, 5, "s") != "(no samples)\n" {
+		t.Fatal("empty histogram")
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	out := RenderHistogram(&s, 10, "s")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("buckets = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars rendered")
+	}
+	// Counts sum to N.
+	total := 0
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		n := 0
+		if _, err := sscanInt(fields[len(fields)-1], &n); err != nil {
+			t.Fatalf("bad line %q", ln)
+		}
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("histogram counts sum to %d", total)
+	}
+}
+
+func sscanInt(s string, out *int) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errParse
+		}
+		n = n*10 + int(c-'0')
+	}
+	*out = n
+	return 1, nil
+}
+
+var errParse = &parseError{}
+
+type parseError struct{}
+
+func (*parseError) Error() string { return "parse error" }
+
+func TestRenderHistogramConstantValues(t *testing.T) {
+	var s Summary
+	for i := 0; i < 5; i++ {
+		s.Add(3.5)
+	}
+	out := RenderHistogram(&s, 10, "s")
+	if !strings.Contains(out, "all 5 samples") {
+		t.Fatalf("constant histogram: %q", out)
+	}
+}
+
+// Property: the series total equals the sum of added values regardless of
+// insertion order.
+func TestTimeSeriesConservationProperty(t *testing.T) {
+	f := func(times []uint16, vals []uint8) bool {
+		var ts TimeSeries
+		var want float64
+		for i, tt := range times {
+			v := 1.0
+			if i < len(vals) {
+				v = float64(vals[i])
+			}
+			ts.Add(float64(tt%300), v)
+			want += v
+		}
+		var got float64
+		for _, b := range ts.Buckets() {
+			got += b
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

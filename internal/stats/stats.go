@@ -1,0 +1,396 @@
+// Package stats provides the measurement side of the reproduction:
+// streaming summaries (Welford mean/variance plus exact quantiles over the
+// bounded per-run sample counts), drop accounting by cause, the max-rps
+// search used for Table 1 ("increasing the rps until requests start to
+// fail"), and plain-text table rendering for the paper-style reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of float64 observations.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+	values   []float64 // kept for exact quantiles; runs are bounded
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	s.values = append(s.values, x)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with none.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance (n-1 denominator).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear interpolation
+// over the sorted sample, or 0 with no observations.
+func (s *Summary) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Values returns a copy of the raw observations in insertion order.
+func (s *Summary) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
+// Merge folds other into s.
+func (s *Summary) Merge(other *Summary) {
+	for _, v := range other.values {
+		s.Add(v)
+	}
+}
+
+// DropCause classifies why a request failed.
+type DropCause int
+
+const (
+	// DropRefused: the node's accept capacity (process table + listen
+	// backlog) was exhausted when the connection arrived.
+	DropRefused DropCause = iota
+	// DropTimeout: the response completed after the client's patience
+	// expired, so the client counts it as a failure.
+	DropTimeout
+	// DropUnavailable: no server node was reachable.
+	DropUnavailable
+	numDropCauses
+)
+
+// String names the cause.
+func (d DropCause) String() string {
+	switch d {
+	case DropRefused:
+		return "refused"
+	case DropTimeout:
+		return "timeout"
+	case DropUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("cause(%d)", int(d))
+	}
+}
+
+// PhaseBreakdown is the Table 5 cost itemization for one request, seconds.
+type PhaseBreakdown struct {
+	Preprocess float64 // HTTP command parsing and path resolution
+	Analysis   float64 // broker cost estimation (SWEB)
+	Redirect   float64 // generating + following the 302 (SWEB)
+	Transfer   float64 // server-side data transfer (disk/NFS + send)
+	Network    float64 // Internet drain + latencies
+}
+
+// Total sums the phases.
+func (p PhaseBreakdown) Total() float64 {
+	return p.Preprocess + p.Analysis + p.Redirect + p.Transfer + p.Network
+}
+
+// RunResult aggregates one experiment run.
+type RunResult struct {
+	Offered   int64
+	Completed int64
+	Drops     [numDropCauses]int64
+
+	Response  Summary // seconds, successful requests only
+	Redirects int64   // how many requests were 302'd
+
+	Phases struct {
+		Preprocess, Analysis, Redirect, Transfer, Network Summary
+	}
+
+	PerNodeServed []int64
+	CacheHitRate  float64
+
+	// CPUShare maps activity name to the fraction of total available CPU
+	// cycles spent on it (Sec. 4.3 overhead report).
+	CPUShare map[string]float64
+}
+
+// RecordSuccess adds a completed request.
+func (r *RunResult) RecordSuccess(respSeconds float64, servedBy int, redirected bool, ph PhaseBreakdown) {
+	r.Completed++
+	r.Response.Add(respSeconds)
+	if redirected {
+		r.Redirects++
+	}
+	if servedBy >= 0 && servedBy < len(r.PerNodeServed) {
+		r.PerNodeServed[servedBy]++
+	}
+	r.Phases.Preprocess.Add(ph.Preprocess)
+	r.Phases.Analysis.Add(ph.Analysis)
+	r.Phases.Redirect.Add(ph.Redirect)
+	r.Phases.Transfer.Add(ph.Transfer)
+	r.Phases.Network.Add(ph.Network)
+}
+
+// RecordDrop adds a failed request.
+func (r *RunResult) RecordDrop(cause DropCause) {
+	if cause >= 0 && cause < numDropCauses {
+		r.Drops[cause]++
+	}
+}
+
+// Dropped returns the total failed requests.
+func (r *RunResult) Dropped() int64 {
+	var t int64
+	for _, d := range r.Drops {
+		t += d
+	}
+	return t
+}
+
+// DropRate returns dropped / offered, or 0 if nothing was offered.
+func (r *RunResult) DropRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Dropped()) / float64(r.Offered)
+}
+
+// MeanResponse returns the mean response time of successful requests.
+func (r *RunResult) MeanResponse() float64 { return r.Response.Mean() }
+
+// MaxRPS performs the paper's max-rps search: run(rps) reports the drop
+// rate at that offered load; the search returns the largest integer rps in
+// [1, limit] whose drop rate stays at or below threshold. It first doubles
+// to bracket the failure point, then binary-searches. Monotonicity is
+// assumed, as in the paper's methodology.
+func MaxRPS(limit int, threshold float64, run func(rps int) float64) int {
+	if limit < 1 {
+		return 0
+	}
+	ok := func(rps int) bool { return run(rps) <= threshold }
+	if !ok(1) {
+		return 0
+	}
+	lo := 1 // known good
+	hi := arrMin(2, limit)
+	for hi < limit && ok(hi) {
+		lo = hi
+		hi *= 2
+	}
+	if hi >= limit {
+		if ok(limit) {
+			return limit
+		}
+		hi = limit
+	}
+	// Invariant: ok(lo), !ok(hi).
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func arrMin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Table renders aligned plain-text tables in the style of the paper.
+type Table struct {
+	Title   string
+	Header  []string
+	rows    [][]string
+	Caption string
+}
+
+// AddRow appends one row; cells are printf'd with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatSeconds(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowStrings appends pre-formatted cells.
+func (t *Table) AddRowStrings(cells ...string) {
+	t.rows = append(t.rows, append([]string(nil), cells...))
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, r := range t.rows {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			cells[i] = strings.ReplaceAll(c, "|", `\|`)
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Caption)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first; fields
+// containing commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatSeconds renders a duration in seconds with sensible precision.
+func FormatSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case math.Abs(s) < 0.001:
+		return fmt.Sprintf("%.2fms", s*1000)
+	case math.Abs(s) < 1:
+		return fmt.Sprintf("%.0fms", s*1000)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// FormatPercent renders a 0..1 fraction as a percentage.
+func FormatPercent(f float64) string {
+	return fmt.Sprintf("%.1f%%", f*100)
+}

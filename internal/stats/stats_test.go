@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.N() != 0 || s.Variance() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	// Sample stddev of this classic set: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("stddev = %v want %v", s.StdDev(), want)
+	}
+}
+
+func TestSummarySingleValue(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Variance() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-value summary wrong")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.95, 95.05}, {-1, 1}, {2, 100},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q=%v: got %v want %v", c.q, got, c.want)
+		}
+	}
+	var empty Summary
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b Summary
+	for _, v := range []float64{1, 2, 3} {
+		a.Add(v)
+	}
+	for _, v := range []float64{4, 5, 6} {
+		b.Add(v)
+	}
+	a.Merge(&b)
+	if a.N() != 6 || math.Abs(a.Mean()-3.5) > 1e-12 {
+		t.Fatalf("merged mean = %v n = %d", a.Mean(), a.N())
+	}
+}
+
+func TestDropCauseStrings(t *testing.T) {
+	if DropRefused.String() != "refused" || DropTimeout.String() != "timeout" ||
+		DropUnavailable.String() != "unavailable" {
+		t.Fatal("drop cause names")
+	}
+	if !strings.Contains(DropCause(42).String(), "42") {
+		t.Fatal("unknown cause formatting")
+	}
+}
+
+func TestRunResultAccounting(t *testing.T) {
+	r := RunResult{PerNodeServed: make([]int64, 3)}
+	r.Offered = 5
+	r.RecordSuccess(1.0, 2, true, PhaseBreakdown{Preprocess: 0.1, Transfer: 0.9})
+	r.RecordSuccess(3.0, 0, false, PhaseBreakdown{})
+	r.RecordDrop(DropRefused)
+	r.RecordDrop(DropTimeout)
+	r.RecordDrop(DropCause(99)) // ignored
+	if r.Completed != 2 || r.Dropped() != 2 {
+		t.Fatalf("completed=%d dropped=%d", r.Completed, r.Dropped())
+	}
+	if math.Abs(r.DropRate()-0.4) > 1e-12 {
+		t.Fatalf("drop rate = %v", r.DropRate())
+	}
+	if math.Abs(r.MeanResponse()-2.0) > 1e-12 {
+		t.Fatalf("mean = %v", r.MeanResponse())
+	}
+	if r.Redirects != 1 {
+		t.Fatalf("redirects = %d", r.Redirects)
+	}
+	if r.PerNodeServed[2] != 1 || r.PerNodeServed[0] != 1 {
+		t.Fatalf("per-node = %v", r.PerNodeServed)
+	}
+	var empty RunResult
+	if empty.DropRate() != 0 {
+		t.Fatal("empty drop rate")
+	}
+}
+
+func TestPhaseBreakdownTotal(t *testing.T) {
+	p := PhaseBreakdown{Preprocess: 1, Analysis: 2, Redirect: 3, Transfer: 4, Network: 5}
+	if p.Total() != 15 {
+		t.Fatalf("total = %v", p.Total())
+	}
+}
+
+func TestMaxRPSFindsThreshold(t *testing.T) {
+	// Synthetic system that fails above 17 rps.
+	run := func(rps int) float64 {
+		if rps > 17 {
+			return 0.5
+		}
+		return 0
+	}
+	if got := MaxRPS(100, 0.01, run); got != 17 {
+		t.Fatalf("MaxRPS = %d", got)
+	}
+}
+
+func TestMaxRPSEdgeCases(t *testing.T) {
+	alwaysFail := func(int) float64 { return 1 }
+	neverFail := func(int) float64 { return 0 }
+	if got := MaxRPS(50, 0.01, alwaysFail); got != 0 {
+		t.Fatalf("always failing: %d", got)
+	}
+	if got := MaxRPS(50, 0.01, neverFail); got != 50 {
+		t.Fatalf("never failing hits the limit: %d", got)
+	}
+	if got := MaxRPS(0, 0.01, neverFail); got != 0 {
+		t.Fatalf("limit 0: %d", got)
+	}
+	if got := MaxRPS(1, 0.01, neverFail); got != 1 {
+		t.Fatalf("limit 1: %d", got)
+	}
+}
+
+func TestMaxRPSNeverProbesAboveLimit(t *testing.T) {
+	probed := []int{}
+	run := func(rps int) float64 {
+		probed = append(probed, rps)
+		return 0
+	}
+	MaxRPS(10, 0.01, run)
+	for _, p := range probed {
+		if p > 10 {
+			t.Fatalf("probed %d above limit", p)
+		}
+	}
+}
+
+// Property: for any monotone failure threshold k, the search returns
+// min(k, limit) exactly.
+func TestMaxRPSProperty(t *testing.T) {
+	f := func(threshold uint8, limit uint8) bool {
+		k := int(threshold%60) + 1
+		lim := int(limit%60) + 1
+		run := func(rps int) float64 {
+			if rps > k {
+				return 1
+			}
+			return 0
+		}
+		want := k
+		if lim < k {
+			want = lim
+		}
+		return MaxRPS(lim, 0.01, run) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Header:  []string{"name", "value"},
+		Caption: "a caption",
+	}
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta", 42)
+	tbl.AddRowStrings("gamma", "x")
+	if tbl.Rows() != 3 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	out := tbl.String()
+	for _, want := range []string{"Demo", "name", "alpha", "1.50s", "42", "gamma", "a caption"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 3 rows, caption.
+	if len(lines) != 7 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.0005, "0.50ms"},
+		{0.25, "250ms"},
+		{1.5, "1.50s"},
+		{120, "120.00s"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.in); got != c.want {
+			t.Errorf("FormatSeconds(%v) = %q want %q", c.in, got, c.want)
+		}
+	}
+	if got := FormatPercent(0.373); got != "37.3%" {
+		t.Fatalf("FormatPercent = %q", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(values []float64, qa, qb float64) bool {
+		if len(values) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := s.Quantile(qa), s.Quantile(qb)
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		return va <= vb+1e-9 && va >= sorted[0]-1e-9 && vb <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "b"}, Caption: "cap"}
+	tbl.AddRowStrings("x|y", "2")
+	out := tbl.Markdown()
+	for _, want := range []string{"### T", "| a | b |", "| --- | --- |", `x\|y`, "cap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.AddRowStrings("plain", "1")
+	tbl.AddRowStrings(`has,comma`, `has"quote`)
+	out := tbl.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != `"has,comma","has""quote"` {
+		t.Fatalf("quoted row = %q", lines[2])
+	}
+}

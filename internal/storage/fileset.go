@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The generators below build the document corpora used in the paper's
+// experiments: uniform 1 KB and 1.5 MB sets (Tables 1, 2, 4), the
+// non-uniform 100 B - 1.5 MB mix (Table 3), the single hot file of the
+// skewed test (Sec. 4.2), and an Alexandria-Digital-Library-like mix of
+// metadata, browse images, and full-resolution scenes for the examples.
+
+// UniformSet creates count files of exactly size bytes, placed round-robin
+// across the store's nodes.
+func UniformSet(s *Store, count int, size int64) []string {
+	paths := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		p := fmt.Sprintf("/docs/u%06d.dat", i)
+		s.MustAdd(File{Path: p, Size: size, Owner: i % s.Nodes()})
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// NonUniformSet creates count files with sizes drawn uniformly between
+// minSize and maxSize (the paper's "sizes varying from short, approximately
+// 100 bytes, to relatively long, approximately 1.5MB"), placed round-robin.
+// Placement by index (not by size) reproduces the paper's heterogeneous
+// load: DNS rotation spreads request *counts* evenly while the byte demand
+// fluctuates node to node within each burst.
+func NonUniformSet(s *Store, count int, minSize, maxSize int64, rng *rand.Rand) []string {
+	if minSize <= 0 || maxSize < minSize {
+		panic("storage: NonUniformSet needs 0 < minSize <= maxSize")
+	}
+	paths := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		size := minSize + rng.Int63n(maxSize-minSize+1)
+		p := fmt.Sprintf("/docs/n%06d.dat", i)
+		s.MustAdd(File{Path: p, Size: size, Owner: i % s.Nodes()})
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// CollectionSet builds the non-uniform corpus the way a digital library
+// lays data out: each node's dedicated disk holds one collection, and the
+// collections have very different size profiles (metadata pages, browse
+// thumbnails, full-resolution scenes). Request counts spread evenly under
+// DNS rotation, but the byte demand per *owner* is grossly uneven — the
+// structural weakness of the pure file-locality policy in Table 3.
+// perNode files are created per node; sizes for node k are drawn uniformly
+// from the band [minSize·g^k, minSize·g^(k+1)] where g spans the bands
+// geometrically up to maxSize.
+func CollectionSet(s *Store, perNode int, minSize, maxSize int64, rng *rand.Rand) []string {
+	if minSize <= 0 || maxSize < minSize {
+		panic("storage: CollectionSet needs 0 < minSize <= maxSize")
+	}
+	n := s.Nodes()
+	g := math.Pow(float64(maxSize)/float64(minSize), 1/float64(n))
+	paths := make([]string, 0, perNode*n)
+	for node := 0; node < n; node++ {
+		lo := float64(minSize) * math.Pow(g, float64(node))
+		hi := lo * g
+		for i := 0; i < perNode; i++ {
+			size := int64(lo + rng.Float64()*(hi-lo))
+			if size > maxSize {
+				size = maxSize
+			}
+			p := fmt.Sprintf("/coll%d/doc%04d.dat", node, i)
+			s.MustAdd(File{Path: p, Size: size, Owner: node})
+			paths = append(paths, p)
+		}
+	}
+	return paths
+}
+
+// SkewedSet creates a corpus where every request will target one hot file
+// owned by node 0, "effectively reducing the parallel system to a single
+// server" under the file-locality policy.
+func SkewedSet(s *Store, size int64) string {
+	p := "/docs/hot.dat"
+	s.MustAdd(File{Path: p, Size: size, Owner: 0})
+	return p
+}
+
+// ADLSet builds an Alexandria Digital Library style corpus: small HTML
+// metadata pages, mid-size browse thumbnails, and large full-resolution
+// map/aerial-photograph scenes. It returns the three path groups.
+func ADLSet(s *Store, scenes int, rng *rand.Rand) (meta, browse, full []string) {
+	for i := 0; i < scenes; i++ {
+		owner := i % s.Nodes()
+		m := fmt.Sprintf("/adl/meta/scene%04d.html", i)
+		b := fmt.Sprintf("/adl/browse/scene%04d.gif", i)
+		f := fmt.Sprintf("/adl/full/scene%04d.img", i)
+		s.MustAdd(File{Path: m, Size: 2<<10 + int64(rng.Intn(2<<10)), Owner: owner})
+		s.MustAdd(File{Path: b, Size: 40<<10 + int64(rng.Intn(40<<10)), Owner: owner})
+		s.MustAdd(File{Path: f, Size: 1<<20 + int64(rng.Intn(1<<20)), Owner: owner})
+		meta = append(meta, m)
+		browse = append(browse, b)
+		full = append(full, f)
+	}
+	return meta, browse, full
+}
+
+// AddCGISet registers count CGI endpoints with the given per-invocation
+// computational demand, placed round-robin. CGI results are small (the
+// paper's CGI cost is compute, not bytes).
+func AddCGISet(s *Store, count int, ops float64, resultSize int64) []string {
+	paths := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		p := fmt.Sprintf("/cgi-bin/query%03d.cgi", i)
+		s.MustAdd(File{Path: p, Size: resultSize, Owner: i % s.Nodes(), CGI: true, CGIOps: ops})
+		paths = append(paths, p)
+	}
+	return paths
+}

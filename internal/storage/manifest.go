@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Manifest format: the cluster-wide document map a SWEB deployment shares
+// (the live daemons load it at startup; the simulator builds it in memory).
+// One file per line:
+//
+//	# path size owner [cgi <ops>]
+//	/adl/meta/scene0001.html 2048 0
+//	/cgi-bin/query.cgi 512 3 cgi 4e7
+//
+// Lines are whitespace-separated; '#' starts a comment.
+
+// WriteManifest serializes the store.
+func WriteManifest(w io.Writer, s *Store) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# SWEB document manifest: %d files on %d nodes\n", s.Len(), s.Nodes())
+	fmt.Fprintf(bw, "nodes %d\n", s.Nodes())
+	paths := s.Paths()
+	sort.Strings(paths)
+	for _, p := range paths {
+		f, _ := s.Lookup(p)
+		if f.CGI {
+			fmt.Fprintf(bw, "%s %d %d cgi %g\n", f.Path, f.Size, f.Owner, f.CGIOps)
+		} else {
+			fmt.Fprintf(bw, "%s %d %d\n", f.Path, f.Size, f.Owner)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadManifest parses a manifest into a new Store.
+func ReadManifest(r io.Reader) (*Store, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	var store *Store
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "nodes" {
+			if store != nil {
+				return nil, fmt.Errorf("storage: line %d: duplicate nodes directive", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("storage: line %d: nodes needs a count", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("storage: line %d: bad node count %q", lineNo, fields[1])
+			}
+			store = NewStore(n)
+			continue
+		}
+		if store == nil {
+			return nil, fmt.Errorf("storage: line %d: file entry before nodes directive", lineNo)
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("storage: line %d: want 'path size owner'", lineNo)
+		}
+		size, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("storage: line %d: bad size %q", lineNo, fields[1])
+		}
+		owner, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("storage: line %d: bad owner %q", lineNo, fields[2])
+		}
+		f := File{Path: fields[0], Size: size, Owner: owner}
+		if len(fields) >= 4 {
+			if fields[3] != "cgi" || len(fields) != 5 {
+				return nil, fmt.Errorf("storage: line %d: trailing fields must be 'cgi <ops>'", lineNo)
+			}
+			ops, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil || ops < 0 {
+				return nil, fmt.Errorf("storage: line %d: bad cgi ops %q", lineNo, fields[4])
+			}
+			f.CGI = true
+			f.CGIOps = ops
+		}
+		if err := store.Add(f); err != nil {
+			return nil, fmt.Errorf("storage: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("storage: %v", err)
+	}
+	if store == nil {
+		return nil, fmt.Errorf("storage: empty manifest")
+	}
+	return store, nil
+}

@@ -1,0 +1,131 @@
+// Package storage models SWEB's distributed file layout: every document
+// lives on exactly one node's dedicated local disk and is visible to all
+// other nodes through NFS cross-mounts. The broker consults the ownership
+// map ("determines the server on whose local disk the file resides") and a
+// remote fetch pays the interconnect instead of the local disk channel.
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// File describes one served document.
+type File struct {
+	// Path is the URL path, e.g. "/maps/goleta.gif".
+	Path string
+	// Size is the response body size in bytes.
+	Size int64
+	// Owner is the node whose local disk holds the file.
+	Owner int
+	// CGI marks an executable resource; CGIOps is its computational demand
+	// in CPU operations (estimated by the oracle's user-supplied table).
+	CGI    bool
+	CGIOps float64
+}
+
+// Store is the cluster-wide document layout.
+type Store struct {
+	nodes   int
+	files   map[string]*File
+	byOwner [][]string // owner -> sorted paths
+	total   int64      // total corpus bytes
+}
+
+// NewStore creates an empty layout for a cluster of n nodes.
+func NewStore(n int) *Store {
+	if n <= 0 {
+		panic("storage: store needs at least one node")
+	}
+	return &Store{
+		nodes:   n,
+		files:   make(map[string]*File),
+		byOwner: make([][]string, n),
+	}
+}
+
+// Nodes returns the cluster size the layout was built for.
+func (s *Store) Nodes() int { return s.nodes }
+
+// Len returns the number of files.
+func (s *Store) Len() int { return len(s.files) }
+
+// TotalBytes returns the corpus size.
+func (s *Store) TotalBytes() int64 { return s.total }
+
+// Add registers a file. Adding a duplicate path or an out-of-range owner is
+// an error.
+func (s *Store) Add(f File) error {
+	if f.Path == "" {
+		return fmt.Errorf("storage: empty path")
+	}
+	if f.Size < 0 {
+		return fmt.Errorf("storage: %s: negative size", f.Path)
+	}
+	if f.Owner < 0 || f.Owner >= s.nodes {
+		return fmt.Errorf("storage: %s: owner %d out of range [0,%d)", f.Path, f.Owner, s.nodes)
+	}
+	if _, dup := s.files[f.Path]; dup {
+		return fmt.Errorf("storage: %s: duplicate path", f.Path)
+	}
+	cp := f
+	s.files[f.Path] = &cp
+	s.byOwner[f.Owner] = append(s.byOwner[f.Owner], f.Path)
+	s.total += f.Size
+	return nil
+}
+
+// MustAdd is Add that panics on error, for test and generator code.
+func (s *Store) MustAdd(f File) {
+	if err := s.Add(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the file metadata for path.
+func (s *Store) Lookup(path string) (File, bool) {
+	f, ok := s.files[path]
+	if !ok {
+		return File{}, false
+	}
+	return *f, true
+}
+
+// Owner returns the owning node for path.
+func (s *Store) Owner(path string) (int, bool) {
+	f, ok := s.files[path]
+	if !ok {
+		return 0, false
+	}
+	return f.Owner, true
+}
+
+// OwnedBy returns the sorted list of paths owned by node.
+func (s *Store) OwnedBy(node int) []string {
+	if node < 0 || node >= s.nodes {
+		return nil
+	}
+	out := append([]string(nil), s.byOwner[node]...)
+	sort.Strings(out)
+	return out
+}
+
+// Paths returns every path in sorted order.
+func (s *Store) Paths() []string {
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BytesByOwner returns the per-node corpus bytes, useful for checking
+// placement balance.
+func (s *Store) BytesByOwner() []int64 {
+	out := make([]int64, s.nodes)
+	for _, f := range s.files {
+		out[f.Owner] += f.Size
+	}
+	return out
+}

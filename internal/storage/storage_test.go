@@ -1,0 +1,319 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreAddAndLookup(t *testing.T) {
+	s := NewStore(3)
+	if err := s.Add(File{Path: "/a", Size: 10, Owner: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := s.Lookup("/a")
+	if !ok || f.Size != 10 || f.Owner != 2 {
+		t.Fatalf("lookup = %+v ok=%v", f, ok)
+	}
+	if _, ok := s.Lookup("/missing"); ok {
+		t.Fatal("found missing file")
+	}
+	owner, ok := s.Owner("/a")
+	if !ok || owner != 2 {
+		t.Fatalf("owner = %d ok=%v", owner, ok)
+	}
+	if _, ok := s.Owner("/missing"); ok {
+		t.Fatal("owner of missing file")
+	}
+}
+
+func TestStoreAddErrors(t *testing.T) {
+	s := NewStore(2)
+	cases := []struct {
+		f    File
+		want string
+	}{
+		{File{Path: "", Size: 1, Owner: 0}, "empty path"},
+		{File{Path: "/x", Size: -1, Owner: 0}, "negative size"},
+		{File{Path: "/x", Size: 1, Owner: 2}, "out of range"},
+		{File{Path: "/x", Size: 1, Owner: -1}, "out of range"},
+	}
+	for _, c := range cases {
+		if err := s.Add(c.f); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Add(%+v) = %v, want %q", c.f, err, c.want)
+		}
+	}
+	s.MustAdd(File{Path: "/dup", Size: 1, Owner: 0})
+	if err := s.Add(File{Path: "/dup", Size: 1, Owner: 1}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore(1).MustAdd(File{Path: ""})
+}
+
+func TestNewStorePanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore(0)
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	s := NewStore(1)
+	s.MustAdd(File{Path: "/a", Size: 5, Owner: 0})
+	f, _ := s.Lookup("/a")
+	f.Size = 999
+	g, _ := s.Lookup("/a")
+	if g.Size != 5 {
+		t.Fatal("Lookup leaked a mutable reference")
+	}
+}
+
+func TestOwnedByAndPaths(t *testing.T) {
+	s := NewStore(2)
+	s.MustAdd(File{Path: "/b", Size: 1, Owner: 0})
+	s.MustAdd(File{Path: "/a", Size: 1, Owner: 0})
+	s.MustAdd(File{Path: "/c", Size: 1, Owner: 1})
+	got := s.OwnedBy(0)
+	if len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Fatalf("OwnedBy(0) = %v", got)
+	}
+	if s.OwnedBy(5) != nil || s.OwnedBy(-1) != nil {
+		t.Fatal("out-of-range OwnedBy should be nil")
+	}
+	all := s.Paths()
+	if len(all) != 3 || all[0] != "/a" || all[2] != "/c" {
+		t.Fatalf("Paths = %v", all)
+	}
+}
+
+func TestBytesByOwnerAndTotal(t *testing.T) {
+	s := NewStore(2)
+	s.MustAdd(File{Path: "/a", Size: 10, Owner: 0})
+	s.MustAdd(File{Path: "/b", Size: 30, Owner: 1})
+	s.MustAdd(File{Path: "/c", Size: 5, Owner: 1})
+	by := s.BytesByOwner()
+	if by[0] != 10 || by[1] != 35 {
+		t.Fatalf("BytesByOwner = %v", by)
+	}
+	if s.TotalBytes() != 45 || s.Len() != 3 {
+		t.Fatalf("total=%d len=%d", s.TotalBytes(), s.Len())
+	}
+}
+
+func TestUniformSetPlacement(t *testing.T) {
+	s := NewStore(3)
+	paths := UniformSet(s, 9, 1024)
+	if len(paths) != 9 || s.Len() != 9 {
+		t.Fatalf("len = %d", len(paths))
+	}
+	for i, p := range paths {
+		f, _ := s.Lookup(p)
+		if f.Size != 1024 {
+			t.Fatalf("size = %d", f.Size)
+		}
+		if f.Owner != i%3 {
+			t.Fatalf("file %d owned by %d", i, f.Owner)
+		}
+	}
+	by := s.BytesByOwner()
+	if by[0] != by[1] || by[1] != by[2] {
+		t.Fatalf("uniform set unbalanced: %v", by)
+	}
+}
+
+func TestNonUniformSetSizesInRange(t *testing.T) {
+	s := NewStore(4)
+	rng := rand.New(rand.NewSource(1))
+	paths := NonUniformSet(s, 100, 100, 1000, rng)
+	for _, p := range paths {
+		f, _ := s.Lookup(p)
+		if f.Size < 100 || f.Size > 1000 {
+			t.Fatalf("size %d out of range", f.Size)
+		}
+	}
+}
+
+func TestNonUniformSetRejectsBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NonUniformSet(NewStore(1), 1, 10, 5, rand.New(rand.NewSource(1)))
+}
+
+func TestCollectionSetBandsGrowWithNode(t *testing.T) {
+	s := NewStore(4)
+	rng := rand.New(rand.NewSource(2))
+	CollectionSet(s, 20, 100, 1<<20, rng)
+	by := s.BytesByOwner()
+	for i := 1; i < len(by); i++ {
+		if by[i] <= by[i-1] {
+			t.Fatalf("collection bytes not increasing: %v", by)
+		}
+	}
+	// Every node owns exactly its own collection.
+	for node := 0; node < 4; node++ {
+		for _, p := range s.OwnedBy(node) {
+			if !strings.HasPrefix(p, "/coll") {
+				t.Fatalf("unexpected path %q", p)
+			}
+		}
+		if len(s.OwnedBy(node)) != 20 {
+			t.Fatalf("node %d owns %d files", node, len(s.OwnedBy(node)))
+		}
+	}
+}
+
+func TestSkewedSet(t *testing.T) {
+	s := NewStore(6)
+	hot := SkewedSet(s, 1536<<10)
+	f, ok := s.Lookup(hot)
+	if !ok || f.Owner != 0 || f.Size != 1536<<10 {
+		t.Fatalf("hot file = %+v", f)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestADLSetGroups(t *testing.T) {
+	s := NewStore(2)
+	rng := rand.New(rand.NewSource(3))
+	meta, browse, full := ADLSet(s, 10, rng)
+	if len(meta) != 10 || len(browse) != 10 || len(full) != 10 {
+		t.Fatal("wrong group sizes")
+	}
+	for i := range meta {
+		m, _ := s.Lookup(meta[i])
+		b, _ := s.Lookup(browse[i])
+		f, _ := s.Lookup(full[i])
+		if !(m.Size < b.Size && b.Size < f.Size) {
+			t.Fatalf("size ordering violated: %d %d %d", m.Size, b.Size, f.Size)
+		}
+	}
+}
+
+func TestAddCGISet(t *testing.T) {
+	s := NewStore(3)
+	paths := AddCGISet(s, 5, 1e7, 2048)
+	for i, p := range paths {
+		f, _ := s.Lookup(p)
+		if !f.CGI || f.CGIOps != 1e7 || f.Size != 2048 || f.Owner != i%3 {
+			t.Fatalf("cgi file = %+v", f)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	s := NewStore(3)
+	s.MustAdd(File{Path: "/a/b.html", Size: 123, Owner: 0})
+	s.MustAdd(File{Path: "/big.img", Size: 1 << 20, Owner: 2})
+	s.MustAdd(File{Path: "/cgi-bin/q.cgi", Size: 512, Owner: 1, CGI: true, CGIOps: 4e7})
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes() != 3 || got.Len() != 3 {
+		t.Fatalf("nodes=%d len=%d", got.Nodes(), got.Len())
+	}
+	for _, p := range s.Paths() {
+		want, _ := s.Lookup(p)
+		have, ok := got.Lookup(p)
+		if !ok || have != want {
+			t.Fatalf("file %q: %+v != %+v", p, have, want)
+		}
+	}
+}
+
+func TestManifestErrors(t *testing.T) {
+	cases := []string{
+		"",                            // empty
+		"/a 1 0\n",                    // entry before nodes
+		"nodes 0\n",                   // bad node count
+		"nodes x\n",                   // non-numeric
+		"nodes 2\nnodes 2\n",          // duplicate directive
+		"nodes 2\n/a\n",               // short line
+		"nodes 2\n/a big 0\n",         // bad size
+		"nodes 2\n/a 1 z\n",           // bad owner
+		"nodes 2\n/a 1 5\n",           // owner out of range
+		"nodes 2\n/a 1 0 cgi\n",       // cgi without ops
+		"nodes 2\n/a 1 0 cgi -3\n",    // negative ops
+		"nodes 2\n/a 1 0 dynamic 5\n", // unknown trailer
+		"nodes 2\n/a 1 0\n/a 2 1\n",   // duplicate path
+	}
+	for _, in := range cases {
+		if _, err := ReadManifest(strings.NewReader(in)); err == nil {
+			t.Errorf("manifest %q parsed without error", in)
+		}
+	}
+}
+
+func TestManifestCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nnodes 2\n# a file\n/a 10 1\n"
+	s, err := ReadManifest(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// Property: manifest round-trips any valid store.
+func TestManifestRoundTripProperty(t *testing.T) {
+	f := func(sizes []uint16, nodes uint8) bool {
+		n := int(nodes%5) + 1
+		s := NewStore(n)
+		for i, sz := range sizes {
+			if i >= 50 {
+				break
+			}
+			s.MustAdd(File{
+				Path:  fmt.Sprintf("/f%d", i),
+				Size:  int64(sz),
+				Owner: i % n,
+				CGI:   i%7 == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteManifest(&buf, s); err != nil {
+			return false
+		}
+		got, err := ReadManifest(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != s.Len() || got.Nodes() != s.Nodes() {
+			return false
+		}
+		for _, p := range s.Paths() {
+			a, _ := s.Lookup(p)
+			b, ok := got.Lookup(p)
+			if !ok || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

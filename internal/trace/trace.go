@@ -1,0 +1,243 @@
+// Package trace records the life of individual requests as structured
+// events — the running system's view of the paper's Figure 1 transaction
+// diagram (DNS lookup → connect → request → redirect → response). The
+// simulator and the live server both emit into a Recorder; renderers turn
+// a request's span into the step-by-step timeline the paper draws, and
+// aggregators reduce event streams to the per-phase costs of Table 5.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds, in rough lifecycle order.
+const (
+	EvIssued     Kind = "issued"      // client fired the request
+	EvResolved   Kind = "resolved"    // DNS answered with a node
+	EvConnected  Kind = "connected"   // TCP connection accepted
+	EvRefused    Kind = "refused"     // accept capacity exhausted
+	EvParsed     Kind = "parsed"      // preprocessing done
+	EvAnalyzed   Kind = "analyzed"    // broker decision made
+	EvRedirected Kind = "redirected"  // 302 sent, client re-requesting
+	EvForwarded  Kind = "forwarded"   // proxied to a peer server-side
+	EvFetchLocal Kind = "fetch-local" // disk/page-cache read started
+	EvFetchNFS   Kind = "fetch-nfs"   // remote fetch from the owner
+	EvCGI        Kind = "cgi"         // dynamic handler executed
+	EvSent       Kind = "sent"        // last byte left the server
+	EvDelivered  Kind = "delivered"   // client received the last byte
+	EvTimedOut   Kind = "timed-out"   // client gave up
+)
+
+// Event is one step of one request.
+type Event struct {
+	// Req identifies the request within the recorder's lifetime.
+	Req int64
+	// At is the event time in seconds (sim time or wall time since the
+	// recorder's epoch).
+	At float64
+	// Kind classifies the step.
+	Kind Kind
+	// Node is the server node involved, -1 when not applicable.
+	Node int
+	// Detail is free-form ("path=/a.html", "target=3").
+	Detail string
+}
+
+// Recorder accumulates events. The zero value discards everything (so the
+// hot paths can call it unconditionally); NewRecorder returns a recording
+// one. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	on      bool
+	events  []Event
+	nextReq int64
+	limit   int
+}
+
+// NewRecorder returns a recorder capturing up to limit events (<=0 means
+// a default of 1<<20; the cap guards runaway live captures).
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{on: true, limit: limit}
+}
+
+// Enabled reports whether the recorder captures anything.
+func (r *Recorder) Enabled() bool { return r != nil && r.on }
+
+// NewRequest allocates a request id.
+func (r *Recorder) NewRequest() int64 {
+	if !r.Enabled() {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextReq++
+	return r.nextReq
+}
+
+// Record appends one event.
+func (r *Recorder) Record(req int64, at float64, kind Kind, node int, detail string) {
+	if !r.Enabled() || req < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{Req: req, At: at, Kind: kind, Node: node, Detail: detail})
+}
+
+// Len returns the number of captured events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of all events in capture order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Span returns one request's events sorted by time.
+func (r *Recorder) Span(req int64) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Req == req {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Requests returns the distinct request ids seen, ascending.
+func (r *Recorder) Requests() []int64 {
+	seen := map[int64]bool{}
+	for _, e := range r.Events() {
+		seen[e.Req] = true
+	}
+	out := make([]int64, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RenderSpan draws one request's timeline in the style of Figure 1:
+//
+//	req 17
+//	  +0.000000s  issued       client            path=/a.html
+//	  +0.002100s  resolved     dns     -> node 2
+//	  ...
+func RenderSpan(events []Event) string {
+	if len(events) == 0 {
+		return "(empty span)\n"
+	}
+	var b strings.Builder
+	t0 := events[0].At
+	fmt.Fprintf(&b, "req %d\n", events[0].Req)
+	for _, e := range events {
+		node := "-"
+		if e.Node >= 0 {
+			node = fmt.Sprintf("node %d", e.Node)
+		}
+		fmt.Fprintf(&b, "  +%9.6fs  %-12s %-8s %s\n", e.At-t0, e.Kind, node, e.Detail)
+	}
+	return b.String()
+}
+
+// Summary aggregates an event stream.
+type Summary struct {
+	Requests   int
+	ByKind     map[Kind]int
+	Redirected int
+	Forwarded  int
+	Refused    int
+	Completed  int
+	// MeanPhase maps a (from,to) kind pair label like "parsed→analyzed"
+	// to its mean duration in seconds, over requests exhibiting both.
+	MeanPhase map[string]float64
+}
+
+// Summarize reduces the full stream.
+func Summarize(events []Event) Summary {
+	s := Summary{ByKind: map[Kind]int{}, MeanPhase: map[string]float64{}}
+	byReq := map[int64][]Event{}
+	for _, e := range events {
+		s.ByKind[e.Kind]++
+		byReq[e.Req] = append(byReq[e.Req], e)
+	}
+	s.Requests = len(byReq)
+	s.Redirected = s.ByKind[EvRedirected]
+	s.Forwarded = s.ByKind[EvForwarded]
+	s.Refused = s.ByKind[EvRefused]
+	s.Completed = s.ByKind[EvDelivered]
+
+	type edge struct{ from, to Kind }
+	edges := []edge{
+		{EvIssued, EvConnected},
+		{EvConnected, EvParsed},
+		{EvParsed, EvAnalyzed},
+		{EvAnalyzed, EvSent},
+		{EvSent, EvDelivered},
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, evs := range byReq {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		first := map[Kind]float64{}
+		for _, e := range evs {
+			if _, ok := first[e.Kind]; !ok {
+				first[e.Kind] = e.At
+			}
+		}
+		for _, ed := range edges {
+			a, okA := first[ed.from]
+			b, okB := first[ed.to]
+			if okA && okB && b >= a {
+				key := string(ed.from) + "→" + string(ed.to)
+				sums[key] += b - a
+				counts[key]++
+			}
+		}
+	}
+	for k, sum := range sums {
+		s.MeanPhase[k] = sum / float64(counts[k])
+	}
+	return s
+}
+
+// RenderSummary prints the aggregate view.
+func RenderSummary(s Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests %d, completed %d, redirected %d, forwarded %d, refused %d\n",
+		s.Requests, s.Completed, s.Redirected, s.Forwarded, s.Refused)
+	keys := make([]string, 0, len(s.MeanPhase))
+	for k := range s.MeanPhase {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-22s %9.6fs\n", k, s.MeanPhase[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestZeroRecorderDiscardsEverything(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder enabled")
+	}
+	r.Record(1, 0, EvIssued, 0, "")
+	if r.Len() != 0 {
+		t.Fatal("nil recorder stored an event")
+	}
+	if r.NewRequest() != -1 {
+		t.Fatal("nil recorder allocated an id")
+	}
+	var zero Recorder
+	zero.Record(1, 0, EvIssued, 0, "")
+	if zero.Len() != 0 {
+		t.Fatal("zero recorder stored an event")
+	}
+}
+
+func TestRecordAndSpan(t *testing.T) {
+	r := NewRecorder(0)
+	id := r.NewRequest()
+	r.Record(id, 0.0, EvIssued, -1, "path=/a")
+	r.Record(id, 0.1, EvConnected, 2, "")
+	r.Record(id, 0.3, EvDelivered, 2, "")
+	other := r.NewRequest()
+	r.Record(other, 0.2, EvIssued, -1, "")
+	span := r.Span(id)
+	if len(span) != 3 {
+		t.Fatalf("span len = %d", len(span))
+	}
+	for i := 1; i < len(span); i++ {
+		if span[i].At < span[i-1].At {
+			t.Fatal("span not time-ordered")
+		}
+	}
+	if got := r.Requests(); len(got) != 2 || got[0] != id || got[1] != other {
+		t.Fatalf("requests = %v", got)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(3)
+	id := r.NewRequest()
+	for i := 0; i < 10; i++ {
+		r.Record(id, float64(i), EvIssued, 0, "")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want capped at 3", r.Len())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := r.NewRequest()
+				r.Record(id, float64(i), EvIssued, 0, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	ids := map[int64]bool{}
+	for _, e := range r.Events() {
+		if ids[e.Req] {
+			t.Fatal("duplicate request id")
+		}
+		ids[e.Req] = true
+	}
+}
+
+func TestRenderSpan(t *testing.T) {
+	r := NewRecorder(0)
+	id := r.NewRequest()
+	r.Record(id, 1.0, EvIssued, -1, "path=/doc.html")
+	r.Record(id, 1.002, EvConnected, 3, "")
+	r.Record(id, 1.01, EvRedirected, 3, "to=1")
+	out := RenderSpan(r.Span(id))
+	for _, want := range []string{"req 1", "issued", "node 3", "to=1", "0.000000s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered span missing %q:\n%s", want, out)
+		}
+	}
+	if RenderSpan(nil) != "(empty span)\n" {
+		t.Fatal("empty span rendering")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(0)
+	// Two requests: one straight-through, one redirected+refused elsewhere.
+	a := r.NewRequest()
+	r.Record(a, 0.00, EvIssued, -1, "")
+	r.Record(a, 0.01, EvConnected, 0, "")
+	r.Record(a, 0.03, EvParsed, 0, "")
+	r.Record(a, 0.035, EvAnalyzed, 0, "")
+	r.Record(a, 0.50, EvSent, 0, "")
+	r.Record(a, 0.60, EvDelivered, 0, "")
+	b := r.NewRequest()
+	r.Record(b, 0.00, EvIssued, -1, "")
+	r.Record(b, 0.01, EvRedirected, 1, "to=0")
+	r.Record(b, 0.02, EvRefused, 0, "accept capacity")
+
+	s := Summarize(r.Events())
+	if s.Requests != 2 || s.Completed != 1 || s.Redirected != 1 || s.Refused != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	phase := s.MeanPhase["parsed→analyzed"]
+	if phase < 0.004 || phase > 0.006 {
+		t.Fatalf("parsed→analyzed = %v", phase)
+	}
+	if d := s.MeanPhase["sent→delivered"]; d < 0.0999 || d > 0.1001 {
+		t.Fatalf("sent→delivered = %v", d)
+	}
+	out := RenderSummary(s)
+	if !strings.Contains(out, "requests 2") || !strings.Contains(out, "parsed→analyzed") {
+		t.Fatalf("summary rendering:\n%s", out)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Requests != 0 || len(s.MeanPhase) != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sweb/internal/accesslog"
+	"sweb/internal/des"
+)
+
+func logEntry(host, path string, status int, at time.Time) accesslog.Entry {
+	return accesslog.Entry{
+		Host: host, Time: at, Method: "GET", Path: path,
+		Proto: "HTTP/1.0", Status: status, Bytes: 100,
+	}
+}
+
+func TestFromAccessLogBasics(t *testing.T) {
+	t0 := time.Date(1996, 3, 1, 12, 0, 0, 0, time.UTC)
+	entries := []accesslog.Entry{
+		logEntry("a.example", "/x.html", 200, t0),
+		logEntry("b.example", "/y.html", 200, t0.Add(1500*time.Millisecond)),
+		logEntry("a.example", "/missing", 404, t0.Add(2*time.Second)), // skipped
+		logEntry("c.example", "/z.html?q=1", 200, t0.Add(3*time.Second)),
+	}
+	arr, err := FromAccessLog(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 3 {
+		t.Fatalf("arrivals = %d", len(arr))
+	}
+	if arr[0].At != 0 || arr[0].Path != "/x.html" || arr[0].Domain != "a.example" {
+		t.Fatalf("first arrival = %+v", arr[0])
+	}
+	if arr[1].At != 1500*des.Millisecond {
+		t.Fatalf("offset = %v", arr[1].At)
+	}
+	if arr[2].Path != "/z.html" {
+		t.Fatalf("query not stripped: %q", arr[2].Path)
+	}
+}
+
+func TestFromAccessLogSortsOutOfOrderEntries(t *testing.T) {
+	t0 := time.Date(1996, 3, 1, 12, 0, 0, 0, time.UTC)
+	entries := []accesslog.Entry{
+		logEntry("h", "/late.html", 200, t0.Add(5*time.Second)),
+		logEntry("h", "/early.html", 200, t0),
+	}
+	arr, err := FromAccessLog(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[0].Path != "/early.html" || arr[1].Path != "/late.html" {
+		t.Fatalf("not sorted: %+v", arr)
+	}
+}
+
+func TestFromAccessLogRejectsEmptyReplay(t *testing.T) {
+	entries := []accesslog.Entry{
+		logEntry("h", "/x", 404, time.Now()),
+	}
+	if _, err := FromAccessLog(entries); err == nil {
+		t.Fatal("404-only log produced a replay")
+	}
+	if _, err := FromAccessLog(nil); err == nil {
+		t.Fatal("empty log produced a replay")
+	}
+}
+
+func TestFromAccessLogEndToEndWithParser(t *testing.T) {
+	raw := strings.Join([]string{
+		`cl1.ucsb.edu - - [02/Feb/1996:15:04:05 -0700] "GET /a.html HTTP/1.0" 200 2048`,
+		`cl2.ucsb.edu - - [02/Feb/1996:15:04:06 -0700] "GET /b.html HTTP/1.0" 200 2048`,
+		`cl1.ucsb.edu - - [02/Feb/1996:15:04:07 -0700] "POST /cgi HTTP/1.0" 200 10`,
+	}, "\n")
+	entries, err := accesslog.Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := FromAccessLog(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 2 { // POST skipped
+		t.Fatalf("arrivals = %d", len(arr))
+	}
+	if arr[1].At != des.Second {
+		t.Fatalf("second arrival at %v", arr[1].At)
+	}
+}

@@ -1,0 +1,232 @@
+// Package workload generates the request streams used in the paper's
+// experiments: "a burst of requests would arrive nearly simultaneously,
+// simulating the action of a graphical browser such as Netscape", driven as
+// a constant number of requests launched at each second for a 30-second
+// burst, a 120-second sustained test, or the 45-second skewed test. Paths
+// are drawn from pluggable pickers (uniform over a corpus, weighted, or a
+// single hot file) and each request carries a client-domain label for the
+// DNS caching model.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"sweb/internal/accesslog"
+	"sweb/internal/des"
+)
+
+// Arrival is one request issue instant.
+type Arrival struct {
+	At     des.Time
+	Path   string
+	Domain string // client DNS domain, "" to bypass the cache model
+}
+
+// Picker chooses the path for the i-th request of a run.
+type Picker func(i int, rng *rand.Rand) string
+
+// UniformPicker draws uniformly from paths.
+func UniformPicker(paths []string) Picker {
+	if len(paths) == 0 {
+		panic("workload: UniformPicker needs at least one path")
+	}
+	return func(i int, rng *rand.Rand) string {
+		return paths[rng.Intn(len(paths))]
+	}
+}
+
+// RoundRobinPicker cycles through paths deterministically, giving every file
+// exactly even coverage.
+func RoundRobinPicker(paths []string) Picker {
+	if len(paths) == 0 {
+		panic("workload: RoundRobinPicker needs at least one path")
+	}
+	return func(i int, rng *rand.Rand) string {
+		return paths[i%len(paths)]
+	}
+}
+
+// ZipfPicker draws from paths with Zipf-distributed popularity (exponent
+// s, v=1): web request streams concentrate heavily on a few hot documents,
+// which is what makes pure file locality collapse onto the hot files'
+// owners while DNS rotation stays even by request count.
+func ZipfPicker(paths []string, s float64, rng *rand.Rand) Picker {
+	if len(paths) == 0 {
+		panic("workload: ZipfPicker needs at least one path")
+	}
+	if s <= 1 {
+		s = 1.0001 // rand.Zipf requires s > 1
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(len(paths)-1))
+	return func(i int, _ *rand.Rand) string {
+		return paths[z.Uint64()]
+	}
+}
+
+// SinglePicker always returns path — the skewed test "where each client
+// accessed the same file located on a single server".
+func SinglePicker(path string) Picker {
+	return func(int, *rand.Rand) string { return path }
+}
+
+// WeightedPicker draws path group g with probability weight[g] (normalized),
+// then uniformly inside the group. Used by the ADL example: many metadata
+// hits, some browse images, few full scenes.
+func WeightedPicker(groups [][]string, weights []float64) (Picker, error) {
+	if len(groups) == 0 || len(groups) != len(weights) {
+		return nil, fmt.Errorf("workload: need matching non-empty groups and weights")
+	}
+	var total float64
+	for g, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: negative weight %g", w)
+		}
+		if len(groups[g]) == 0 {
+			return nil, fmt.Errorf("workload: empty group %d", g)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: weights sum to zero")
+	}
+	return func(i int, rng *rand.Rand) string {
+		x := rng.Float64() * total
+		for g, w := range weights {
+			if x < w || g == len(weights)-1 {
+				grp := groups[g]
+				return grp[rng.Intn(len(grp))]
+			}
+			x -= w
+		}
+		panic("unreachable")
+	}, nil
+}
+
+// DomainPool labels requests with client domains. size is the number of
+// distinct domains; the paper's DNS-caching pathology appears when size is
+// small relative to the request rate.
+type DomainPool struct {
+	size int
+}
+
+// NewDomainPool creates a pool of n domains; n <= 0 disables domain labels.
+func NewDomainPool(n int) *DomainPool { return &DomainPool{size: n} }
+
+// Pick returns the domain for the i-th request.
+func (d *DomainPool) Pick(i int, rng *rand.Rand) string {
+	if d == nil || d.size <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("dom%03d.clients.example", rng.Intn(d.size))
+}
+
+// Burst describes the paper's test shape: at each whole second for Duration
+// seconds, RPS requests are launched at jittered sub-second offsets.
+type Burst struct {
+	// RPS is the constant number of requests launched each second.
+	RPS int
+	// DurationSeconds is the test length (30 for bursts, 120 sustained,
+	// 45 for the skewed test).
+	DurationSeconds int
+	// Jitter spreads each second's launches uniformly across the second
+	// when true; when false all RPS requests fire at the second boundary
+	// ("arrive nearly simultaneously").
+	Jitter bool
+}
+
+// Validate reports malformed bursts.
+func (b Burst) Validate() error {
+	if b.RPS <= 0 {
+		return fmt.Errorf("workload: RPS must be positive, got %d", b.RPS)
+	}
+	if b.DurationSeconds <= 0 {
+		return fmt.Errorf("workload: DurationSeconds must be positive, got %d", b.DurationSeconds)
+	}
+	return nil
+}
+
+// Total returns the number of requests the burst will issue.
+func (b Burst) Total() int { return b.RPS * b.DurationSeconds }
+
+// Generate produces the arrival schedule, sorted by time.
+func (b Burst) Generate(pick Picker, domains *DomainPool, rng *rand.Rand) ([]Arrival, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if pick == nil {
+		return nil, fmt.Errorf("workload: nil Picker")
+	}
+	arrivals := make([]Arrival, 0, b.Total())
+	i := 0
+	for sec := 0; sec < b.DurationSeconds; sec++ {
+		base := des.Time(sec) * des.Second
+		offsets := make([]des.Time, b.RPS)
+		for k := range offsets {
+			if b.Jitter {
+				offsets[k] = des.Time(rng.Int63n(int64(des.Second)))
+			} else {
+				// Tiny spacing keeps event order deterministic while
+				// preserving the "nearly simultaneous" burst.
+				offsets[k] = des.Time(k) * des.Microsecond
+			}
+		}
+		sortTimes(offsets)
+		for _, off := range offsets {
+			arrivals = append(arrivals, Arrival{
+				At:     base + off,
+				Path:   pick(i, rng),
+				Domain: domains.Pick(i, rng),
+			})
+			i++
+		}
+	}
+	return arrivals, nil
+}
+
+// FromAccessLog turns a parsed access log back into an arrival schedule:
+// each successful GET replays at its original offset from the first entry,
+// with the client host as the DNS-caching domain. This is how a production
+// trace drives the simulator.
+func FromAccessLog(entries []accesslog.Entry) ([]Arrival, error) {
+	var out []Arrival
+	var t0 time.Time
+	for _, e := range entries {
+		if e.Method != "GET" || e.Status != 200 {
+			continue
+		}
+		if t0.IsZero() || e.Time.Before(t0) {
+			t0 = e.Time
+		}
+	}
+	if t0.IsZero() {
+		return nil, fmt.Errorf("workload: no replayable GET entries")
+	}
+	for _, e := range entries {
+		if e.Method != "GET" || e.Status != 200 {
+			continue
+		}
+		path := e.Path
+		if q := strings.IndexByte(path, '?'); q >= 0 {
+			path = path[:q]
+		}
+		out = append(out, Arrival{
+			At:     des.Time(e.Time.Sub(t0) / 1000), // ns → µs
+			Path:   path,
+			Domain: e.Host,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+func sortTimes(ts []des.Time) {
+	for i := 1; i < len(ts); i++ {
+		for k := i; k > 0 && ts[k] < ts[k-1]; k-- {
+			ts[k], ts[k-1] = ts[k-1], ts[k]
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sweb/internal/des"
+)
+
+func TestBurstValidate(t *testing.T) {
+	if err := (Burst{RPS: 1, DurationSeconds: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Burst{{RPS: 0, DurationSeconds: 1}, {RPS: 1, DurationSeconds: 0}, {RPS: -1, DurationSeconds: 5}} {
+		if err := b.Validate(); err == nil {
+			t.Errorf("burst %+v validated", b)
+		}
+	}
+	if (Burst{RPS: 16, DurationSeconds: 30}).Total() != 480 {
+		t.Fatal("total")
+	}
+}
+
+func TestGenerateCountAndOrdering(t *testing.T) {
+	b := Burst{RPS: 7, DurationSeconds: 5, Jitter: true}
+	rng := rand.New(rand.NewSource(1))
+	arr, err := b.Generate(UniformPicker([]string{"/a", "/b"}), nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 35 {
+		t.Fatalf("len = %d", len(arr))
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestGenerateExactlyRPSPerSecond(t *testing.T) {
+	b := Burst{RPS: 9, DurationSeconds: 4, Jitter: true}
+	arr, _ := b.Generate(SinglePicker("/x"), nil, rand.New(rand.NewSource(2)))
+	counts := map[int64]int{}
+	for _, a := range arr {
+		counts[int64(a.At/des.Second)]++
+	}
+	for sec := int64(0); sec < 4; sec++ {
+		if counts[sec] != 9 {
+			t.Fatalf("second %d launched %d requests", sec, counts[sec])
+		}
+	}
+}
+
+func TestGenerateNoJitterIsNearlySimultaneous(t *testing.T) {
+	b := Burst{RPS: 50, DurationSeconds: 1, Jitter: false}
+	arr, _ := b.Generate(SinglePicker("/x"), nil, rand.New(rand.NewSource(3)))
+	// All within the first 50 microseconds of the second.
+	for _, a := range arr {
+		if a.At >= 50*des.Microsecond {
+			t.Fatalf("burst arrival at %v, want near-simultaneous", a.At)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := (Burst{RPS: 0, DurationSeconds: 1}).Generate(SinglePicker("/x"), nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid burst generated")
+	}
+	if _, err := (Burst{RPS: 1, DurationSeconds: 1}).Generate(nil, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("nil picker accepted")
+	}
+}
+
+func TestUniformPickerStaysInSet(t *testing.T) {
+	paths := []string{"/a", "/b", "/c"}
+	pick := UniformPicker(paths)
+	rng := rand.New(rand.NewSource(4))
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		p := pick(i, rng)
+		seen[p] = true
+		if p != "/a" && p != "/b" && p != "/c" {
+			t.Fatalf("picked %q", p)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatal("uniform picker never chose some paths")
+	}
+}
+
+func TestRoundRobinPickerCycles(t *testing.T) {
+	pick := RoundRobinPicker([]string{"/a", "/b"})
+	rng := rand.New(rand.NewSource(5))
+	if pick(0, rng) != "/a" || pick(1, rng) != "/b" || pick(2, rng) != "/a" {
+		t.Fatal("round robin picker broken")
+	}
+}
+
+func TestSinglePicker(t *testing.T) {
+	pick := SinglePicker("/hot")
+	for i := 0; i < 5; i++ {
+		if pick(i, nil) != "/hot" {
+			t.Fatal("single picker wandered")
+		}
+	}
+}
+
+func TestZipfPickerSkew(t *testing.T) {
+	paths := make([]string, 100)
+	for i := range paths {
+		paths[i] = "/f" + string(rune('0'+i%10)) + string(rune('0'+i/10))
+	}
+	pick := ZipfPicker(paths, 1.2, rand.New(rand.NewSource(6)))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[pick(i, nil)]++
+	}
+	if counts[paths[0]] < 1000 {
+		t.Fatalf("zipf head count = %d, want heavy skew", counts[paths[0]])
+	}
+}
+
+func TestPickersPanicOnEmpty(t *testing.T) {
+	for _, fn := range []func(){
+		func() { UniformPicker(nil) },
+		func() { RoundRobinPicker(nil) },
+		func() { ZipfPicker(nil, 1.1, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWeightedPicker(t *testing.T) {
+	groups := [][]string{{"/small"}, {"/large"}}
+	pick, err := WeightedPicker(groups, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	large := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if pick(i, rng) == "/large" {
+			large++
+		}
+	}
+	if frac := float64(large) / n; math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("large fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestWeightedPickerErrors(t *testing.T) {
+	cases := []struct {
+		groups  [][]string
+		weights []float64
+	}{
+		{nil, nil},
+		{[][]string{{"/a"}}, []float64{1, 2}},
+		{[][]string{{"/a"}}, []float64{-1}},
+		{[][]string{{}}, []float64{1}},
+		{[][]string{{"/a"}}, []float64{0}},
+	}
+	for i, c := range cases {
+		if _, err := WeightedPicker(c.groups, c.weights); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDomainPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var nilPool *DomainPool
+	if nilPool.Pick(0, rng) != "" {
+		t.Fatal("nil pool should yield empty domains")
+	}
+	if NewDomainPool(0).Pick(0, rng) != "" {
+		t.Fatal("empty pool should yield empty domains")
+	}
+	pool := NewDomainPool(3)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[pool.Pick(i, rng)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("domain pool produced %d distinct domains", len(seen))
+	}
+}
+
+// Property: generation is deterministic for a fixed seed and total count
+// always equals RPS*Duration.
+func TestGenerateDeterministicProperty(t *testing.T) {
+	f := func(rps, dur, seed uint8) bool {
+		b := Burst{RPS: int(rps%20) + 1, DurationSeconds: int(dur%10) + 1, Jitter: true}
+		gen := func() []Arrival {
+			arr, err := b.Generate(UniformPicker([]string{"/a", "/b", "/c"}),
+				NewDomainPool(4), rand.New(rand.NewSource(int64(seed))))
+			if err != nil {
+				return nil
+			}
+			return arr
+		}
+		a, b2 := gen(), gen()
+		if len(a) != len(b2) || len(a) != b.Total() {
+			return false
+		}
+		for i := range a {
+			if a[i] != b2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

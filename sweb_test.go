@@ -1,0 +1,93 @@
+package sweb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sweb"
+)
+
+// The facade tests exercise the public API exactly the way the examples and
+// a downstream user would.
+
+func TestSchedulerFacade(t *testing.T) {
+	sched := sweb.NewScheduler(sweb.DefaultParams())
+	loads := []sweb.NodeLoad{
+		{Available: true, CPUOpsPerSec: 40e6, DiskBytesPerSec: 5e6, NetBytesPerSec: 4.5e6},
+		{Available: true, CPUOpsPerSec: 40e6, DiskBytesPerSec: 5e6, NetBytesPerSec: 4.5e6, CPULoad: 30, DiskLoad: 30, NetLoad: 30},
+	}
+	req := sweb.Request{Path: "/x", Size: 1 << 20, Owner: 1, Ops: 1e6, DiskBytes: 1 << 20, Arrived: 0}
+	dec := sched.Choose(req, 0, loads)
+	if dec.Target != 0 {
+		t.Fatalf("scheduler sent a request to the melted owner: %+v", dec)
+	}
+}
+
+func TestSimClusterFacade(t *testing.T) {
+	st := sweb.NewStore(2)
+	paths := sweb.UniformSet(st, 4, 64<<10)
+	cfg := sweb.MeikoSim(2, st)
+	cfg.Seed = 1
+	cl, err := sweb.NewSimCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := sweb.Burst{RPS: 4, DurationSeconds: 3, Jitter: true}
+	arr, err := burst.Generate(sweb.UniformPicker(paths), nil, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.RunSchedule(arr)
+	if res.Completed != 12 || res.Dropped() != 0 {
+		t.Fatalf("completed=%d dropped=%d", res.Completed, res.Dropped())
+	}
+}
+
+func TestNOWSimFacade(t *testing.T) {
+	st := sweb.NewStore(2)
+	paths := sweb.UniformSet(st, 4, 8<<10)
+	cfg := sweb.NOWSim(2, st)
+	cl, err := sweb.NewSimCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := sweb.Burst{RPS: 2, DurationSeconds: 2, Jitter: true}
+	arr, _ := burst.Generate(sweb.UniformPicker(paths), nil, rand.New(rand.NewSource(3)))
+	if res := cl.RunSchedule(arr); res.Completed != 4 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+func TestLiveClusterFacade(t *testing.T) {
+	st := sweb.NewStore(2)
+	paths := sweb.UniformSet(st, 4, 4096)
+	cl, err := sweb.StartLive(sweb.LiveOptions{Nodes: 2, Store: st, BaseDir: t.TempDir(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.NewClient().Get(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || len(res.Body) != 4096 {
+		t.Fatalf("status=%d len=%d", res.Status, len(res.Body))
+	}
+}
+
+func TestAnalyticFacade(t *testing.T) {
+	m := sweb.AnalyticModel{P: 6, F: 1.5e6, B1: 5e6, B2: 4.5e6, A: 0.02}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r := m.MaxSustainedRPS(); r < 17 || r > 18 {
+		t.Fatalf("bound = %v", r)
+	}
+}
+
+func TestBaselinePoliciesExported(t *testing.T) {
+	var _ sweb.Policy = sweb.RoundRobin{}
+	var _ sweb.Policy = sweb.FileLocality{P: sweb.DefaultParams()}
+	var _ sweb.Policy = sweb.CPUOnly{P: sweb.DefaultParams()}
+	var _ sweb.Policy = sweb.NewScheduler(sweb.DefaultParams())
+}
