@@ -1,0 +1,22 @@
+GO ?= go
+
+# Packages with concurrent live-cluster paths; kept race-clean.
+RACE_PKGS = ./internal/httpd/... ./internal/loadd/... ./internal/live/... ./internal/retry/...
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# The CI gate: tier-1 build+test plus vet and the race pass over the
+# concurrent packages.
+check: build vet test race

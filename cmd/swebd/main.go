@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"sweb/internal/accesslog"
 	"sweb/internal/core"
@@ -46,6 +47,12 @@ func run() error {
 	maxConc := flag.Int("max-concurrent", 256, "accept capacity before shedding connections")
 	oraclePath := flag.String("oracle", "", "oracle configuration file (request characterization table)")
 	logPath := flag.String("access-log", "", "append NCSA Common Log Format lines to this file")
+	fetchAttempts := flag.Int("fetch-attempts", 3, "internal-fetch attempt budget against a document's owner (1 disables retry)")
+	fetchBackoff := flag.Duration("fetch-backoff", 100*time.Millisecond, "base backoff between internal-fetch attempts (doubles, jittered)")
+	fetchTimeout := flag.Duration("fetch-timeout", 5*time.Second, "per-attempt dial timeout for internal fetches")
+	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint stamped on degraded 503 responses")
+	failLimit := flag.Int("fail-limit", 3, "consecutive data-path failures before a peer is scheduled around")
+	loaddTimeout := flag.Duration("loadd-timeout", 8*time.Second, "peer broadcast silence before it is considered unavailable")
 	flag.Parse()
 
 	if *docroot == "" || *manifestPath == "" {
@@ -81,15 +88,21 @@ func run() error {
 	}
 
 	cfg := httpd.Config{
-		ID:            *id,
-		Addr:          *addr,
-		UDPAddr:       *udp,
-		DocRoot:       *docroot,
-		Store:         store,
-		Policy:        pol,
-		Params:        params,
-		HaveParams:    true,
-		MaxConcurrent: *maxConc,
+		ID:             *id,
+		Addr:           *addr,
+		UDPAddr:        *udp,
+		DocRoot:        *docroot,
+		Store:          store,
+		Policy:         pol,
+		Params:         params,
+		HaveParams:     true,
+		MaxConcurrent:  *maxConc,
+		FetchAttempts:  *fetchAttempts,
+		FetchBackoff:   *fetchBackoff,
+		FetchTimeout:   *fetchTimeout,
+		RetryAfterHint: *retryAfter,
+		FailureLimit:   *failLimit,
+		LoaddTimeout:   *loaddTimeout,
 	}
 	if *oraclePath != "" {
 		of, err := os.Open(*oraclePath)

@@ -2,8 +2,10 @@ package httpd
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"os"
 	"path/filepath"
@@ -14,6 +16,7 @@ import (
 	"sweb/internal/accesslog"
 	"sweb/internal/core"
 	"sweb/internal/httpmsg"
+	"sweb/internal/retry"
 	"sweb/internal/storage"
 )
 
@@ -28,7 +31,12 @@ const (
 	internalHeader = "X-Sweb-Internal"
 )
 
-const connTimeout = 30 * time.Second
+const (
+	connTimeout = 30 * time.Second
+	// shedWriteTimeout bounds the courtesy 503 written to a shed
+	// connection; a client that will not read it cannot stall anything.
+	shedWriteTimeout = 2 * time.Second
+)
 
 // acceptLoop is the NCSA-style accept loop; each connection gets its own
 // handler goroutine (Go's stand-in for fork-per-request).
@@ -46,11 +54,21 @@ func (s *Server) acceptLoop() {
 		}
 		if s.inflight.Load() >= int64(s.cfg.MaxConcurrent) {
 			// Accept capacity exhausted: shed the connection, the live
-			// analogue of a dropped request.
+			// analogue of a dropped request. The courtesy 503 goes out on
+			// a separate goroutine with a write deadline so one slow or
+			// absent reader can never stall the accept loop.
 			s.refused.Add(1)
-			_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, nil,
-				httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "Server too busy."))
-			conn.Close()
+			s.wg.Add(1)
+			go func(c net.Conn) {
+				defer s.wg.Done()
+				defer c.Close()
+				_ = c.SetWriteDeadline(time.Now().Add(shedWriteTimeout))
+				h := httpmsg.Header{}
+				h.Set("Retry-After", s.retryAfterSeconds())
+				_ = httpmsg.WriteSimpleResponse(c, httpmsg.StatusServiceUnavailable, h,
+					httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "Server too busy."))
+				s.logAccess(c, nil, httpmsg.StatusServiceUnavailable, -1)
+			}(conn)
 			continue
 		}
 		s.accepted.Add(1)
@@ -148,17 +166,26 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		loads := s.snapshotLoads()
 		dec := s.cfg.Policy.Choose(coreReq, s.cfg.ID, loads)
-		if dec.Target != s.cfg.ID {
-			if peer, ok := s.peerByID(dec.Target); ok {
-				// Phase 3: redirect via a 302 with the bumped URL.
-				s.table.Bump(dec.Target)
-				s.redirected.Add(1)
-				loc := fmt.Sprintf("http://%s%s?%s=%d", peer.HTTPAddr, req.Path, redirectParam, redirects+1)
+		target := s.confirmTarget(dec)
+		if target != s.cfg.ID {
+			if peer, ok := s.peerByID(target); ok {
+				// Phase 3: redirect via a 302 with the bumped URL,
+				// preserving the client's own query parameters.
+				loc := redirectLocation(peer.HTTPAddr, req.Path, req.Query, redirects)
 				h := httpmsg.Header{}
 				h.Set("Location", loc)
-				_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusMovedTemporarily, h,
+				err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusMovedTemporarily, h,
 					httpmsg.ErrorBody(httpmsg.StatusMovedTemporarily,
 						`The document has moved <A HREF="`+loc+`">here</A>.`))
+				if err != nil {
+					// The client never saw the 302, so no request is on
+					// its way to the peer: inflating its load view would
+					// only skew later decisions.
+					s.errors.Add(1)
+					return
+				}
+				s.table.Bump(target)
+				s.redirected.Add(1)
 				s.logAccess(conn, req, httpmsg.StatusMovedTemporarily, -1)
 				return
 			}
@@ -174,6 +201,67 @@ func (s *Server) handle(conn net.Conn) {
 	default:
 		s.serveRemoteFile(conn, req, file)
 	}
+}
+
+// confirmTarget re-validates the broker's pick against the freshest peer
+// health: never 302 to a peer whose loadd row has gone stale or whose data
+// path is in a failure streak. When the pick fails the check, the cheapest
+// remaining feasible candidate wins (local service included), so a dead
+// peer degrades the schedule instead of the request.
+func (s *Server) confirmTarget(dec core.Decision) int {
+	target := dec.Target
+	if target == s.cfg.ID {
+		return target
+	}
+	now := s.nowSec()
+	if s.table.Available(target, now) {
+		return target
+	}
+	best, bestTotal := s.cfg.ID, math.Inf(1)
+	for _, cb := range dec.Candidates {
+		if cb.Infeasible || cb.Node == target {
+			continue
+		}
+		if cb.Node != s.cfg.ID && !s.table.Available(cb.Node, now) {
+			continue
+		}
+		if cb.Total < bestTotal {
+			best, bestTotal = cb.Node, cb.Total
+		}
+	}
+	return best
+}
+
+// redirectLocation rebuilds the client's URL pointing at a peer, keeping
+// every original query parameter and replacing only the swebr counter, so
+// `GET /doc?x=1` arrives at the target node still carrying `x=1`.
+func redirectLocation(httpAddr, path, query string, redirects int) string {
+	var b strings.Builder
+	b.WriteString("http://")
+	b.WriteString(httpAddr)
+	b.WriteString(path)
+	sep := byte('?')
+	for _, kv := range strings.Split(query, "&") {
+		if kv == "" || strings.HasPrefix(kv, redirectParam+"=") {
+			continue
+		}
+		b.WriteByte(sep)
+		b.WriteString(kv)
+		sep = '&'
+	}
+	b.WriteByte(sep)
+	fmt.Fprintf(&b, "%s=%d", redirectParam, redirects+1)
+	return b.String()
+}
+
+// retryAfterSeconds renders the configured Retry-After hint (whole
+// seconds, minimum 1, as HTTP wants it).
+func (s *Server) retryAfterSeconds() string {
+	secs := int(math.Ceil(s.cfg.RetryAfterHint.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // ownsLocally reports whether the document can be read from this node's
@@ -234,12 +322,15 @@ func (s *Server) localPath(urlPath string) string {
 	return filepath.Join(s.cfg.DocRoot, filepath.FromSlash(strings.TrimPrefix(urlPath, "/")))
 }
 
-// serveLocalFile streams a document from the node's own disk.
+// serveLocalFile streams a document from the node's own disk. diskActive
+// is held for the whole transfer — the disk is read as the body streams,
+// so releasing the counter at open time would hide disk pressure from the
+// scheduler exactly while the disk is busiest.
 func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storage.File) {
 	s.diskActive.Add(1)
+	defer s.diskActive.Add(-1)
 	f, err := os.Open(s.localPath(req.Path))
 	if err != nil {
-		s.diskActive.Add(-1)
 		s.errors.Add(1)
 		code := httpmsg.StatusNotFound
 		if os.IsPermission(err) {
@@ -251,13 +342,11 @@ func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storag
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		s.diskActive.Add(-1)
 		s.errors.Add(1)
 		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusInternalServerError, nil,
 			httpmsg.ErrorBody(httpmsg.StatusInternalServerError, "stat failed"))
 		return
 	}
-	s.diskActive.Add(-1)
 	// Conditional GET (RFC 1945 §10.9): a browser revalidating its cache
 	// sends If-Modified-Since and gets a body-less 304 if the document is
 	// unchanged — the cheapest response the 1996 server knows.
@@ -273,7 +362,11 @@ func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storag
 }
 
 // serveRemoteFile fetches the document from its owner (the NFS stand-in)
-// and relays it to the client.
+// and relays it to the client. The fetch runs under the node's retry
+// budget — a dead owner is retried with capped, jittered backoff and each
+// failure feeds the loadd health view — and only once the budget is spent
+// does the client see the degradation ladder's last rung: 503 with a
+// Retry-After hint.
 func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file storage.File) {
 	peer, ok := s.peerByID(file.Owner)
 	if !ok {
@@ -285,31 +378,62 @@ func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file stora
 	s.internalFetch.Add(1)
 	s.netActive.Add(1)
 	defer s.netActive.Add(-1)
-	up, err := net.DialTimeout("tcp", peer.HTTPAddr, 5*time.Second)
+	pol := retry.Policy{
+		MaxAttempts: s.cfg.FetchAttempts,
+		BaseDelay:   s.cfg.FetchBackoff,
+		MaxDelay:    2 * time.Second,
+		Jitter:      0.2,
+		Budget:      connTimeout / 2,
+	}
+	var resp *httpmsg.Response
+	err := pol.Do(s.closed, func(int) error {
+		r, ferr := s.fetchFromPeer(peer, req.Path)
+		if ferr != nil {
+			s.table.MarkFailure(file.Owner)
+			return ferr
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		s.errors.Add(1)
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, nil,
+		h := httpmsg.Header{}
+		h.Set("Retry-After", s.retryAfterSeconds())
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, h,
 			httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner unreachable"))
+		s.logAccess(conn, req, httpmsg.StatusServiceUnavailable, -1)
 		return
+	}
+	s.table.MarkSuccess(file.Owner)
+	s.streamResponse(conn, req, int64(len(resp.Body)), bytes.NewReader(resp.Body), time.Time{})
+}
+
+// fetchFromPeer performs one internal GET against the owning node.
+func (s *Server) fetchFromPeer(peer Peer, path string) (*httpmsg.Response, error) {
+	if delay := s.cfg.DialDelay; delay != nil {
+		if d := delay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	up, err := net.DialTimeout("tcp", peer.HTTPAddr, s.cfg.FetchTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial owner %d: %w", peer.ID, err)
 	}
 	defer up.Close()
 	_ = up.SetDeadline(time.Now().Add(connTimeout))
-	ireq := &httpmsg.Request{Method: "GET", Path: req.Path, Header: httpmsg.Header{}}
+	ireq := &httpmsg.Request{Method: "GET", Path: path, Header: httpmsg.Header{}}
 	ireq.Header.Set(internalHeader, "1")
 	if err := ireq.Write(up); err != nil {
-		s.errors.Add(1)
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, nil,
-			httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner write failed"))
-		return
+		return nil, fmt.Errorf("write to owner %d: %w", peer.ID, err)
 	}
 	resp, err := httpmsg.ReadResponse(bufio.NewReader(up), 0)
-	if err != nil || resp.StatusCode != httpmsg.StatusOK {
-		s.errors.Add(1)
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, nil,
-			httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner fetch failed"))
-		return
+	if err != nil {
+		return nil, fmt.Errorf("read from owner %d: %w", peer.ID, err)
 	}
-	s.streamResponse(conn, req, int64(len(resp.Body)), strings.NewReader(string(resp.Body)), time.Time{})
+	if resp.StatusCode != httpmsg.StatusOK {
+		return nil, fmt.Errorf("owner %d returned %d", peer.ID, resp.StatusCode)
+	}
+	return resp, nil
 }
 
 // serveCGI executes a registered dynamic endpoint.

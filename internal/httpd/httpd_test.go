@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"sweb/internal/core"
+	"sweb/internal/loadd"
 	"sweb/internal/storage"
 )
 
@@ -155,5 +157,122 @@ func TestSampleReflectsConfig(t *testing.T) {
 	}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRedirectLocationPreservesQuery(t *testing.T) {
+	cases := []struct {
+		query string
+		want  string
+	}{
+		{"", "http://h:1/doc?swebr=1"},
+		{"x=1", "http://h:1/doc?x=1&swebr=1"},
+		{"x=1&y=2", "http://h:1/doc?x=1&y=2&swebr=1"},
+		// An existing counter is replaced, not duplicated.
+		{"swebr=0&x=1", "http://h:1/doc?x=1&swebr=1"},
+		{"x=1&swebr=3", "http://h:1/doc?x=1&swebr=1"},
+	}
+	for _, c := range cases {
+		if got := redirectLocation("h:1", "/doc", c.query, 0); got != c.want {
+			t.Errorf("redirectLocation(%q) = %q want %q", c.query, got, c.want)
+		}
+	}
+	// The counter value tracks the redirect count.
+	if got := redirectLocation("h:1", "/doc", "a=b", 2); got != "http://h:1/doc?a=b&swebr=3" {
+		t.Errorf("redirect count: %q", got)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RetryAfterHint = 2500 * time.Millisecond
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.retryAfterSeconds(); got != "3" {
+		t.Fatalf("retryAfterSeconds = %q, want ceil to 3", got)
+	}
+}
+
+func TestConfirmTargetSkipsDeadPeer(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Store = storage.NewStore(3)
+	storage.UniformSet(cfg.Store, 3, 1024)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	smp := func(node int) loadd.Sample {
+		return loadd.Sample{Node: node, CPUOpsPerSec: 1, DiskBytesPerSec: 1,
+			NetBytesPerSec: 1, SentAt: srv.nowSec()}
+	}
+	if err := srv.Table().Update(smp(1), srv.nowSec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Table().Update(smp(2), srv.nowSec()); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := core.Decision{Target: 1, Candidates: []core.CostBreakdown{
+		{Node: 0, Total: 3},
+		{Node: 1, Total: 1},
+		{Node: 2, Total: 2},
+	}}
+	// All peers healthy: the broker's pick stands.
+	if got := srv.confirmTarget(dec); got != 1 {
+		t.Fatalf("healthy pick overridden: %d", got)
+	}
+	// The pick's data path fails past the limit: next-best feasible wins.
+	for i := 0; i < loadd.DefaultFailureLimit; i++ {
+		srv.Table().MarkFailure(1)
+	}
+	if got := srv.confirmTarget(dec); got != 2 {
+		t.Fatalf("fallback = %d, want next-best peer 2", got)
+	}
+	// Every peer dead: degrade to local service.
+	for i := 0; i < loadd.DefaultFailureLimit; i++ {
+		srv.Table().MarkFailure(2)
+	}
+	if got := srv.confirmTarget(dec); got != 0 {
+		t.Fatalf("fallback = %d, want local", got)
+	}
+	// Recovery on the data path restores the pick.
+	srv.Table().MarkSuccess(1)
+	if got := srv.confirmTarget(dec); got != 1 {
+		t.Fatalf("recovered pick = %d, want 1", got)
+	}
+}
+
+func TestConfirmTargetNoCandidatesFallsBackLocal(t *testing.T) {
+	// Policies like FileLocality return a bare target with no candidate
+	// breakdowns; a dead pick must still degrade to local service.
+	srv, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dec := core.Decision{Target: 1} // node 1 never broadcast
+	if got := srv.confirmTarget(dec); got != 0 {
+		t.Fatalf("confirmTarget = %d, want local 0", got)
+	}
+}
+
+func TestFetchDefaults(t *testing.T) {
+	cfg := testConfig(t)
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FetchAttempts != 3 || cfg.FetchBackoff != 100*time.Millisecond {
+		t.Fatalf("fetch defaults: %d %v", cfg.FetchAttempts, cfg.FetchBackoff)
+	}
+	if cfg.FetchTimeout != 5*time.Second || cfg.RetryAfterHint != 2*time.Second {
+		t.Fatalf("fetch defaults: %v %v", cfg.FetchTimeout, cfg.RetryAfterHint)
+	}
+	if cfg.FailureLimit != loadd.DefaultFailureLimit {
+		t.Fatalf("failure limit default = %d", cfg.FailureLimit)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sweb/internal/core"
 	"sweb/internal/loadd"
 	"sweb/internal/oracle"
+	"sweb/internal/retry"
 	"sweb/internal/storage"
 )
 
@@ -61,6 +62,30 @@ type Config struct {
 	// MaxConcurrent is the accept capacity; beyond it connections get 503
 	// (default 256).
 	MaxConcurrent int
+
+	// FetchAttempts is the attempt budget for internal fetches against a
+	// document's owner (default 3; 1 disables retry).
+	FetchAttempts int
+	// FetchBackoff is the base delay between internal-fetch attempts; it
+	// doubles per failure with ±20% jitter (default 100ms).
+	FetchBackoff time.Duration
+	// FetchTimeout is the per-attempt dial timeout for internal fetches
+	// (default 5s).
+	FetchTimeout time.Duration
+	// RetryAfterHint is the Retry-After value stamped on degraded 503
+	// responses (default 2s).
+	RetryAfterHint time.Duration
+	// FailureLimit is the consecutive data-path failure count at which a
+	// peer is scheduled around even if its broadcasts still look fresh
+	// (default loadd.DefaultFailureLimit).
+	FailureLimit int
+
+	// DialDelay, when non-nil, is consulted before every internal-fetch
+	// dial and the returned duration slept — fault injection for tests.
+	DialDelay func() time.Duration
+	// DropBroadcast, when non-nil, reports whether to drop an outgoing
+	// loadd datagram — fault injection for tests.
+	DropBroadcast func() bool
 
 	// Capabilities advertised in load broadcasts. Defaults describe the
 	// host loosely; they only need to be consistent across the cluster.
@@ -106,6 +131,21 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = 256
+	}
+	if c.FetchAttempts == 0 {
+		c.FetchAttempts = 3
+	}
+	if c.FetchBackoff == 0 {
+		c.FetchBackoff = 100 * time.Millisecond
+	}
+	if c.FetchTimeout == 0 {
+		c.FetchTimeout = 5 * time.Second
+	}
+	if c.RetryAfterHint == 0 {
+		c.RetryAfterHint = 2 * time.Second
+	}
+	if c.FailureLimit == 0 {
+		c.FailureLimit = loadd.DefaultFailureLimit
 	}
 	if c.CPUOpsPerSec == 0 {
 		c.CPUOpsPerSec = 40e6
@@ -184,13 +224,21 @@ func New(cfg Config) (*Server, error) {
 		cfg:    cfg,
 		ln:     ln,
 		udp:    udp,
-		table:  loadd.NewTable(cfg.ID, cfg.LoaddTimeout.Seconds(), cfg.Params.Delta),
+		table:  newHealthTable(cfg),
 		epoch:  time.Now(),
 		peers:  make(map[int]Peer),
 		cgi:    make(map[string]CGIFunc),
 		closed: make(chan struct{}),
 	}
 	return s, nil
+}
+
+// newHealthTable builds the loadd table with the configured data-path
+// failure threshold.
+func newHealthTable(cfg Config) *loadd.Table {
+	t := loadd.NewTable(cfg.ID, cfg.LoaddTimeout.Seconds(), cfg.Params.Delta)
+	t.SetFailureLimit(cfg.FailureLimit)
+	return t
 }
 
 // ID returns the node id.
@@ -319,6 +367,9 @@ func (s *Server) broadcastOnce() {
 		if id == s.cfg.ID {
 			continue
 		}
+		if drop := s.cfg.DropBroadcast; drop != nil && drop() {
+			continue // injected gossip loss
+		}
 		addr, err := net.ResolveUDPAddr("udp", p.UDPAddr)
 		if err != nil {
 			continue
@@ -333,6 +384,7 @@ func (s *Server) broadcastOnce() {
 func (s *Server) listenLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, loadd.MaxWireSize)
+	errStreak := 0
 	for {
 		n, _, err := s.udp.ReadFromUDP(buf)
 		if err != nil {
@@ -340,9 +392,16 @@ func (s *Server) listenLoop() {
 			case <-s.closed:
 				return
 			default:
-				continue
 			}
+			// Back off on repeated transient errors instead of busy-
+			// spinning the core; the streak resets on the next good read.
+			errStreak++
+			if errStreak > 1 {
+				time.Sleep(retry.Backoff(errStreak-1, time.Millisecond, 100*time.Millisecond))
+			}
+			continue
 		}
+		errStreak = 0
 		smp, err := loadd.DecodeSample(buf[:n])
 		if err != nil {
 			continue // drop corrupt datagrams

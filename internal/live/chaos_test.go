@@ -1,0 +1,235 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sweb/internal/storage"
+)
+
+// waitKnown polls until every listed server's loadd table has heard from
+// want nodes, failing the test after deadline.
+func waitKnown(t *testing.T, servers []int, cl *Cluster, want int, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		full := true
+		for _, i := range servers {
+			if len(cl.Servers[i].Table().Known()) < want {
+				full = false
+			}
+		}
+		if full {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, i := range servers {
+		t.Logf("node %d knows %v", i, cl.Servers[i].Table().Known())
+	}
+	t.Fatalf("gossip did not converge to %d nodes within %v", want, deadline)
+}
+
+// TestChaosNodeKilledMidRun is the acceptance scenario: three nodes, 20%
+// simulated broadcast loss, one node killed mid-run. Every request for a
+// surviving-node-owned document must keep succeeding (the client's
+// failover budget covers the stale-table window), no request may be 302'd
+// to the dead node once its loadd row times out, and owner-dead fetches
+// must degrade to 503 with Retry-After only after the retry budget.
+func TestChaosNodeKilledMidRun(t *testing.T) {
+	const (
+		nodes        = 3
+		dead         = 2
+		loaddPeriod  = 50 * time.Millisecond
+		loaddTimeout = 600 * time.Millisecond
+		fetchBackoff = 30 * time.Millisecond
+	)
+	st := storage.NewStore(nodes)
+	paths := storage.UniformSet(st, 9, 4096)
+	cl, err := Start(Options{
+		Nodes: nodes, Store: st, BaseDir: t.TempDir(), Policy: "sweb",
+		LoaddPeriod:   loaddPeriod,
+		LoaddTimeout:  loaddTimeout,
+		FetchAttempts: 3,
+		FetchBackoff:  fetchBackoff,
+		Faults:        &Faults{BroadcastLoss: 0.2, Seed: 42},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	byOwner := make(map[int][]string)
+	for _, p := range paths {
+		o, _ := st.Owner(p)
+		byOwner[o] = append(byOwner[o], p)
+	}
+	var survivorPaths []string
+	for o, ps := range byOwner {
+		if o != dead {
+			survivorPaths = append(survivorPaths, ps...)
+		}
+	}
+	if len(survivorPaths) == 0 || len(byOwner[dead]) == 0 {
+		t.Fatal("uniform set did not cover every owner")
+	}
+
+	waitKnown(t, []int{0, 1, 2}, cl, nodes, 10*time.Second)
+
+	client := cl.NewClient()
+	// Budget generous enough to ride out the stale-table window in which
+	// survivors may still 302 toward the corpse.
+	client.SetRetry(8, 100*time.Millisecond)
+
+	// Sanity traffic with everything alive.
+	for _, p := range survivorPaths {
+		res, err := client.Get(p)
+		if err != nil || res.Status != 200 {
+			t.Fatalf("pre-kill %s: res=%+v err=%v", p, res, err)
+		}
+	}
+
+	if err := cl.Kill(dead); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-run: the dead node's loadd row is still fresh on the survivors,
+	// and the rotation still resolves to its address. Requests for
+	// surviving-owned documents must nevertheless succeed within the
+	// failover budget.
+	for _, p := range survivorPaths {
+		res, err := client.Get(p)
+		if err != nil {
+			t.Fatalf("mid-run %s failed past the retry budget: %v", p, err)
+		}
+		if res.Status != 200 {
+			t.Fatalf("mid-run %s: status %d", p, res.Status)
+		}
+	}
+
+	// Let the dead node's row expire everywhere (timeout plus slack for
+	// the lossy gossip to refresh the survivors' mutual rows).
+	time.Sleep(loaddTimeout + 4*loaddPeriod)
+
+	// The survivors must still see each other...
+	waitKnown(t, []int{0, 1}, cl, 2, 5*time.Second)
+
+	// ...and never 302 anything toward the corpse.
+	deadAddr := cl.Servers[dead].Addr()
+	for _, i := range []int{0, 1} {
+		for _, p := range paths {
+			status, hdr, _ := directGet(t, cl.Servers[i].Addr(), p)
+			if status == 302 && strings.Contains(hdr.Get("Location"), deadAddr) {
+				t.Fatalf("node %d still redirects %s to the dead node", i, p)
+			}
+		}
+	}
+
+	// Owner-dead documents degrade to 503 + Retry-After, and only after
+	// the retry budget: the two backoff sleeps put a floor on elapsed.
+	deadPath := byOwner[dead][0]
+	start := time.Now()
+	status, hdr, _ := directGet(t, cl.Servers[0].Addr(), deadPath+"?swebr=1")
+	elapsed := time.Since(start)
+	if status != 503 {
+		t.Fatalf("owner-dead fetch: status %d, want 503", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+	if elapsed < fetchBackoff {
+		t.Fatalf("503 after %v — retry budget was not exercised", elapsed)
+	}
+
+	// And the surviving-owned world keeps serving.
+	for _, p := range survivorPaths {
+		res, err := client.Get(p)
+		if err != nil || res.Status != 200 {
+			t.Fatalf("post-timeout %s: res=%+v err=%v", p, res, err)
+		}
+	}
+}
+
+// TestGossipConvergesUnderLoss drops 30% of loadd datagrams and checks the
+// tables still converge: the paper's 2-3s broadcast cadence is itself the
+// retransmission mechanism.
+func TestGossipConvergesUnderLoss(t *testing.T) {
+	st := storage.NewStore(3)
+	storage.UniformSet(st, 3, 1024)
+	cl, err := Start(Options{
+		Nodes: 3, Store: st, BaseDir: t.TempDir(),
+		LoaddPeriod: 50 * time.Millisecond,
+		Faults:      &Faults{BroadcastLoss: 0.3, Seed: 9},
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitKnown(t, []int{0, 1, 2}, cl, 3, 10*time.Second)
+}
+
+// TestDialLatencyInjection slows the interconnect and checks the remote
+// fetch path both survives it and actually pays it.
+func TestDialLatencyInjection(t *testing.T) {
+	const lag = 60 * time.Millisecond
+	st := storage.NewStore(2)
+	storage.UniformSet(st, 2, 2048)
+	cl, err := Start(Options{
+		Nodes: 2, Store: st, BaseDir: t.TempDir(), Policy: "rr",
+		Faults: &Faults{DialLatency: lag},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var owned1 string
+	for _, p := range st.Paths() {
+		if o, _ := st.Owner(p); o == 1 {
+			owned1 = p
+		}
+	}
+	// Round-robin never redirects, so node 0 must relay via the slowed
+	// internal fetch.
+	start := time.Now()
+	status, _, body := directGet(t, cl.Servers[0].Addr(), owned1)
+	if status != 200 || len(body) != 2048 {
+		t.Fatalf("status=%d len=%d", status, len(body))
+	}
+	if d := time.Since(start); d < lag {
+		t.Fatalf("remote fetch took %v, injected latency %v not paid", d, lag)
+	}
+}
+
+// TestClientFailsOverDeadEntryNode kills a node and checks the client
+// rides the rotation past its address without an error surfacing.
+func TestClientFailsOverDeadEntryNode(t *testing.T) {
+	st := storage.NewStore(2)
+	paths := storage.UniformSet(st, 4, 1024)
+	cl, err := Start(Options{Nodes: 2, Store: st, BaseDir: t.TempDir(), Policy: "rr", Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	client := cl.NewClient()
+	for _, p := range paths {
+		o, _ := st.Owner(p)
+		if o != 0 {
+			continue
+		}
+		// The rotation alternates 0,1,0,1...; every fetch must succeed
+		// regardless of which address comes up first.
+		for i := 0; i < 2; i++ {
+			res, err := client.Get(p)
+			if err != nil || res.Status != 200 {
+				t.Fatalf("%s: res=%+v err=%v", p, res, err)
+			}
+		}
+	}
+}

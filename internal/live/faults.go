@@ -1,0 +1,47 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Faults injects failures into a live cluster run — the chaos knobs the
+// integration tests turn: lossy loadd gossip and a slow interconnect. A
+// killed node is a separate operation (Cluster.Kill) because it happens at
+// a chosen moment, not as a rate.
+type Faults struct {
+	// BroadcastLoss is the fraction of outgoing loadd datagrams silently
+	// dropped, per peer send, in [0,1).
+	BroadcastLoss float64
+	// DialLatency is injected before every internal-fetch dial, modeling
+	// a congested or degraded interconnect path.
+	DialLatency time.Duration
+	// Seed makes the loss pattern reproducible; each node derives its own
+	// stream from it.
+	Seed int64
+}
+
+// dropFn builds node i's datagram-loss hook (nil when lossless).
+func (f *Faults) dropFn(node int64) func() bool {
+	if f == nil || f.BroadcastLoss <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(f.Seed + node))
+	loss := f.BroadcastLoss
+	var mu sync.Mutex
+	return func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64() < loss
+	}
+}
+
+// delayFn builds the internal-fetch latency hook (nil when zero).
+func (f *Faults) delayFn() func() time.Duration {
+	if f == nil || f.DialLatency <= 0 {
+		return nil
+	}
+	d := f.DialLatency
+	return func() time.Duration { return d }
+}

@@ -21,6 +21,7 @@ import (
 	"sweb/internal/dnsrr"
 	"sweb/internal/httpd"
 	"sweb/internal/httpmsg"
+	"sweb/internal/retry"
 	"sweb/internal/storage"
 )
 
@@ -44,8 +45,22 @@ type Options struct {
 	// live cluster runs short tests, so it gossips faster than the
 	// paper's 2-3s while keeping the same structure).
 	LoaddPeriod time.Duration
+	// LoaddTimeout overrides the peer-silence threshold (default: the
+	// httpd default of 8s; chaos tests shorten it).
+	LoaddTimeout time.Duration
 	// MaxConcurrent is the per-node accept capacity (default 256).
 	MaxConcurrent int
+	// FetchAttempts and FetchBackoff tune the internal-fetch retry budget
+	// per node (zero: httpd defaults).
+	FetchAttempts int
+	FetchBackoff  time.Duration
+	// RetryAfterHint is stamped on degraded 503s (zero: httpd default).
+	RetryAfterHint time.Duration
+	// FailureLimit is the consecutive data-path failure count before a
+	// peer is scheduled around (zero: loadd default).
+	FailureLimit int
+	// Faults, when non-nil, injects gossip loss and fetch latency.
+	Faults *Faults
 	// Seed drives file content generation.
 	Seed int64
 }
@@ -94,14 +109,21 @@ func Start(o Options) (*Cluster, error) {
 	cl := &Cluster{store: o.Store}
 	for i := 0; i < o.Nodes; i++ {
 		cfg := httpd.Config{
-			ID:            i,
-			DocRoot:       nodeDocRoot(o.BaseDir, i),
-			Store:         o.Store,
-			Policy:        mk(params),
-			Params:        params,
-			HaveParams:    true,
-			LoaddPeriod:   o.LoaddPeriod,
-			MaxConcurrent: o.MaxConcurrent,
+			ID:             i,
+			DocRoot:        nodeDocRoot(o.BaseDir, i),
+			Store:          o.Store,
+			Policy:         mk(params),
+			Params:         params,
+			HaveParams:     true,
+			LoaddPeriod:    o.LoaddPeriod,
+			LoaddTimeout:   o.LoaddTimeout,
+			MaxConcurrent:  o.MaxConcurrent,
+			FetchAttempts:  o.FetchAttempts,
+			FetchBackoff:   o.FetchBackoff,
+			RetryAfterHint: o.RetryAfterHint,
+			FailureLimit:   o.FailureLimit,
+			DropBroadcast:  o.Faults.dropFn(int64(i)),
+			DialDelay:      o.Faults.delayFn(),
 		}
 		srv, err := httpd.New(cfg)
 		if err != nil {
@@ -156,6 +178,18 @@ func (c *Cluster) Close() {
 	}
 }
 
+// Kill crashes node i mid-run: its HTTP listener and loadd socket close
+// immediately with no goodbye. The DNS rotation keeps resolving to it —
+// the paper's premise is that round-robin DNS cannot react to failures —
+// so the surviving nodes (and the clients' own failover) must cope.
+func (c *Cluster) Kill(i int) error {
+	if i < 0 || i >= len(c.Servers) {
+		return fmt.Errorf("live: no node %d", i)
+	}
+	c.Servers[i].Close()
+	return nil
+}
+
 // Addrs returns the HTTP addresses in node order.
 func (c *Cluster) Addrs() []string {
 	out := make([]string, len(c.Servers))
@@ -202,27 +236,65 @@ type Result struct {
 }
 
 // Client fetches documents through the DNS rotation, following at most one
-// redirect like a 1996 browser.
+// redirect like a 1996 browser. When a node is unreachable — the rotation
+// still resolves to crashed nodes — the client re-resolves and tries the
+// next address, the way browsers walked a DNS answer's remaining A
+// records, under a small capped-backoff budget.
 type Client struct {
 	mu       sync.Mutex
 	cluster  *Cluster
 	timeout  time.Duration
 	maxBytes int64
+	attempts int
+	backoff  time.Duration
 }
 
-// NewClient builds a client for the cluster.
+// NewClient builds a client for the cluster. The default failover budget
+// is one attempt per node plus one.
 func (c *Cluster) NewClient() *Client {
-	return &Client{cluster: c, timeout: 30 * time.Second, maxBytes: 64 << 20}
+	return &Client{
+		cluster: c, timeout: 30 * time.Second, maxBytes: 64 << 20,
+		attempts: len(c.Servers) + 1, backoff: 50 * time.Millisecond,
+	}
 }
 
-// Get fetches path, following redirects (up to 4 hops as browsers did).
+// SetRetry tunes the failover budget: total attempts across re-resolves
+// and the base backoff between them (doubling, capped at 1s).
+func (cl *Client) SetRetry(attempts int, backoff time.Duration) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.attempts = attempts
+	cl.backoff = backoff
+}
+
+// Get fetches path, following redirects (up to 4 hops as browsers did) and
+// failing over to the next resolved node when one is unreachable.
 func (cl *Client) Get(path string) (*Result, error) {
+	cl.mu.Lock()
+	pol := retry.Policy{MaxAttempts: cl.attempts, BaseDelay: cl.backoff, MaxDelay: time.Second}
+	cl.mu.Unlock()
 	start := time.Now()
-	node, err := cl.cluster.Resolver.Resolve("", float64(time.Now().UnixNano())/1e9)
+	var res *Result
+	err := pol.Do(nil, func(int) error {
+		node, err := cl.cluster.Resolver.Resolve("", float64(time.Now().UnixNano())/1e9)
+		if err != nil {
+			return err
+		}
+		r, err := cl.getVia(cl.cluster.Servers[node].Addr(), path, start)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	addr := cl.cluster.Servers[node].Addr()
+	return res, nil
+}
+
+// getVia performs one full fetch entering the cluster at addr.
+func (cl *Client) getVia(addr, path string, start time.Time) (*Result, error) {
 	redirected := false
 	for hop := 0; hop < 4; hop++ {
 		status, hdr, body, err := fetchOnce(addr, path, cl.timeout, cl.maxBytes)

@@ -75,15 +75,26 @@ type entry struct {
 	// bumps counts redirects issued to this peer since its last broadcast;
 	// each adds Δ·CPUOpsPerSec-normalized load. Reset on fresh samples.
 	bumps int
+	// failures counts consecutive data-path failures (dial/fetch errors)
+	// observed against this peer since its last success or broadcast. At
+	// failLimit the peer is treated as unavailable even if its broadcasts
+	// still look fresh — a node can gossip happily while its HTTP side is
+	// wedged.
+	failures int
 }
+
+// DefaultFailureLimit is the consecutive data-path failure count at which
+// a peer is considered unavailable regardless of broadcast freshness.
+const DefaultFailureLimit = 3
 
 // Table is one node's view of the whole resource pool.
 type Table struct {
-	mu      sync.Mutex
-	self    int
-	timeout float64 // seconds of silence before a peer is unavailable
-	delta   float64 // Δ, the anti-herd CPU bump per redirect
-	entries map[int]*entry
+	mu        sync.Mutex
+	self      int
+	timeout   float64 // seconds of silence before a peer is unavailable
+	delta     float64 // Δ, the anti-herd CPU bump per redirect
+	failLimit int     // consecutive data-path failures before unavailable
+	entries   map[int]*entry
 }
 
 // NewTable creates a table for node self. timeout is the silence threshold
@@ -95,7 +106,19 @@ func NewTable(self int, timeout, delta float64) *Table {
 	if delta < 0 {
 		panic("loadd: delta must be non-negative")
 	}
-	return &Table{self: self, timeout: timeout, delta: delta, entries: make(map[int]*entry)}
+	return &Table{self: self, timeout: timeout, delta: delta,
+		failLimit: DefaultFailureLimit, entries: make(map[int]*entry)}
+}
+
+// SetFailureLimit overrides the consecutive-failure threshold; n <= 0
+// restores DefaultFailureLimit.
+func (t *Table) SetFailureLimit(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 {
+		n = DefaultFailureLimit
+	}
+	t.failLimit = n
 }
 
 // Self returns the owning node id.
@@ -123,7 +146,46 @@ func (t *Table) Update(s Sample, now float64) error {
 	e.receivedAt = now
 	e.haveSample = true
 	e.bumps = 0
+	// A fresh broadcast proves the node is alive again; the data path
+	// re-earns trust until the next failure streak.
+	e.failures = 0
 	return nil
+}
+
+// MarkFailure records one data-path failure against node (an internal
+// fetch that could not dial, write, or read the peer). It returns the new
+// consecutive-failure count. The peer becomes unavailable once the count
+// reaches the failure limit, recovering on MarkSuccess or a fresh Update.
+func (t *Table) MarkFailure(node int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[node]
+	if e == nil {
+		e = &entry{}
+		t.entries[node] = e
+	}
+	e.failures++
+	return e.failures
+}
+
+// MarkSuccess records a successful data-path exchange with node, clearing
+// any failure streak.
+func (t *Table) MarkSuccess(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[node]; e != nil {
+		e.failures = 0
+	}
+}
+
+// Failures returns node's current consecutive data-path failure count.
+func (t *Table) Failures(node int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[node]; e != nil {
+		return e.failures
+	}
+	return 0
 }
 
 // Bump conservatively inflates the local view of node's CPU load after
@@ -150,12 +212,14 @@ func (t *Table) Known() []int {
 	return out
 }
 
-// Available reports whether node has broadcast within the timeout as of now.
+// Available reports whether node has broadcast within the timeout as of now
+// and its data path is not in a failure streak at or past the limit.
 func (t *Table) Available(node int, now float64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e := t.entries[node]
-	return e != nil && e.haveSample && now-e.receivedAt <= t.timeout
+	return e != nil && e.haveSample && now-e.receivedAt <= t.timeout &&
+		e.failures < t.failLimit
 }
 
 // Forget drops a peer entirely (a node leaving the resource pool
@@ -197,6 +261,9 @@ func (t *Table) Snapshot(n int, now float64) []core.NodeLoad {
 		}
 		if now-e.receivedAt > t.timeout {
 			continue // silent too long: unavailable
+		}
+		if e.failures >= t.failLimit {
+			continue // data path failing even though broadcasts look fresh
 		}
 		s := e.sample
 		// Each redirect since the last broadcast adds Δ load (relative to

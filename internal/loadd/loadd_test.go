@@ -359,3 +359,89 @@ func TestSampleValidateHints(t *testing.T) {
 		t.Fatal("overlong hint accepted")
 	}
 }
+
+func TestMarkFailureMakesPeerUnavailable(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 1, 1, 1, 0), 0)
+	if !tb.Available(1, 1) {
+		t.Fatal("fresh peer should be available")
+	}
+	// Below the limit the peer stays usable.
+	for i := 1; i < DefaultFailureLimit; i++ {
+		if got := tb.MarkFailure(1); got != i {
+			t.Fatalf("failure count = %d want %d", got, i)
+		}
+		if !tb.Available(1, 1) {
+			t.Fatalf("peer unavailable after only %d failures", i)
+		}
+	}
+	tb.MarkFailure(1)
+	if tb.Available(1, 1) {
+		t.Fatal("peer still available at the failure limit")
+	}
+	if loads := tb.Snapshot(2, 1); loads[1].Available {
+		t.Fatal("snapshot still advertises the failing peer")
+	}
+}
+
+func TestMarkSuccessRecoversPeer(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 1, 1, 1, 0), 0)
+	for i := 0; i < DefaultFailureLimit; i++ {
+		tb.MarkFailure(1)
+	}
+	if tb.Available(1, 1) {
+		t.Fatal("peer should be down")
+	}
+	tb.MarkSuccess(1)
+	if !tb.Available(1, 1) {
+		t.Fatal("MarkSuccess did not recover the peer")
+	}
+	if tb.Failures(1) != 0 {
+		t.Fatalf("failures = %d after success", tb.Failures(1))
+	}
+}
+
+func TestBroadcastRecoversFailingPeer(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(1, 1, 1, 1, 0), 0)
+	for i := 0; i < DefaultFailureLimit; i++ {
+		tb.MarkFailure(1)
+	}
+	// A fresh broadcast proves the node is back.
+	_ = tb.Update(sample(1, 1, 1, 1, 1), 1)
+	if !tb.Available(1, 2) {
+		t.Fatal("fresh broadcast did not recover the peer")
+	}
+	if loads := tb.Snapshot(2, 2); !loads[1].Available {
+		t.Fatal("snapshot did not recover the peer")
+	}
+}
+
+func TestSetFailureLimit(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	tb.SetFailureLimit(1)
+	_ = tb.Update(sample(1, 1, 1, 1, 0), 0)
+	tb.MarkFailure(1)
+	if tb.Available(1, 1) {
+		t.Fatal("limit 1 not honored")
+	}
+	tb.SetFailureLimit(0) // restores the default
+	if !tb.Available(1, 1) {
+		t.Fatal("default limit not restored")
+	}
+}
+
+func TestMarkFailureUnknownPeerTracked(t *testing.T) {
+	// Failures can precede the first broadcast (we dialed a configured
+	// peer that never gossiped); the streak must survive until Update.
+	tb := NewTable(0, 8, 0.3)
+	tb.MarkFailure(7)
+	tb.MarkFailure(7)
+	if got := tb.Failures(7); got != 2 {
+		t.Fatalf("failures = %d", got)
+	}
+	if tb.Available(7, 0) {
+		t.Fatal("never-heard peer reported available")
+	}
+}

@@ -1,0 +1,126 @@
+// Package retry implements the fault-tolerance primitives the live cluster
+// shares: deadline-capped exponential backoff with jitter and per-operation
+// attempt budgets. The paper's round-robin DNS keeps resolving to every
+// node, so each node must expect stale load views and unreachable peers;
+// this package is the "try again, but not forever" half of that contract —
+// the degradation ladder's middle rung between "first dial failed" and
+// "give up with 503 + Retry-After".
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy bounds one retried operation.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first try included).
+	// Zero or negative means 1: a single attempt, no retry.
+	MaxAttempts int
+	// BaseDelay is the sleep after the first failure; each later failure
+	// doubles it. Zero means DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Zero means DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Jitter randomizes each sleep within ±Jitter fraction of itself
+	// (0.2 → the sleep lands in [0.8d, 1.2d]), de-synchronizing peers
+	// that all noticed the same failure at once. Zero means no jitter.
+	Jitter float64
+	// Budget caps the wall-clock of the whole operation, sleeps included.
+	// Once the budget would be exceeded by the next sleep, Do returns the
+	// last error instead of sleeping. Zero means no budget.
+	Budget time.Duration
+}
+
+// Defaults used when Policy fields are zero.
+const (
+	DefaultBaseDelay = 100 * time.Millisecond
+	DefaultMaxDelay  = 2 * time.Second
+)
+
+// ErrStopped reports that the stop channel closed before fn succeeded.
+var ErrStopped = errors.New("retry: stopped")
+
+// Backoff returns the deterministic exponential delay for a failure streak:
+// base·2^(streak-1), capped at max. A streak below 1 yields zero — callers
+// can feed a consecutive-error counter straight in and pay nothing on the
+// first error.
+func Backoff(streak int, base, max time.Duration) time.Duration {
+	if streak < 1 {
+		return 0
+	}
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	if max <= 0 {
+		max = DefaultMaxDelay
+	}
+	d := base
+	for i := 1; i < streak; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// attempts returns the effective attempt budget.
+func (p Policy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay returns the jittered sleep after attempt number attempt (1-based).
+func (p Policy) delay(attempt int) time.Duration {
+	d := Backoff(attempt, p.BaseDelay, p.MaxDelay)
+	if p.Jitter > 0 && d > 0 {
+		// rand's global source is goroutine-safe; determinism is not
+		// needed here (tests pin Jitter to 0).
+		f := 1 + p.Jitter*(2*rand.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Do runs fn until it returns nil, the attempt budget is spent, the
+// wall-clock budget would be exceeded, or stop closes. It returns nil on
+// success, the last fn error once the budgets are spent, or ErrStopped.
+// fn receives the 1-based attempt number. A nil stop channel never fires.
+func (p Policy) Do(stop <-chan struct{}, fn func(attempt int) error) error {
+	deadline := time.Time{}
+	if p.Budget > 0 {
+		deadline = time.Now().Add(p.Budget)
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-stop:
+			return ErrStopped
+		default:
+		}
+		if lastErr = fn(attempt); lastErr == nil {
+			return nil
+		}
+		if attempt >= p.attempts() {
+			return lastErr
+		}
+		d := p.delay(attempt)
+		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+			return lastErr
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-stop:
+			timer.Stop()
+			return ErrStopped
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	want := []time.Duration{0, 10, 20, 40, 80, 80, 80}
+	for streak, w := range want {
+		w *= time.Millisecond
+		if got := Backoff(streak, base, max); got != w {
+			t.Errorf("Backoff(%d) = %v want %v", streak, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	if got := Backoff(1, 0, 0); got != DefaultBaseDelay {
+		t.Fatalf("default base = %v", got)
+	}
+	if got := Backoff(100, 0, 0); got != DefaultMaxDelay {
+		t.Fatalf("default cap = %v", got)
+	}
+}
+
+func TestBackoffLargeStreakNoOverflow(t *testing.T) {
+	// 2^streak overflows int64 long before streak 500; the cap must win.
+	if got := Backoff(500, time.Second, time.Minute); got != time.Minute {
+		t.Fatalf("Backoff(500) = %v", got)
+	}
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	err := Policy{MaxAttempts: 3}.Do(nil, func(int) error { calls++; return nil })
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	err := p.Do(nil, func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		if attempt < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoExhaustsAttemptBudget(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	if err := p.Do(nil, func(int) error { calls++; return boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestDoHonorsWallClockBudget(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	// The first backoff sleep (50ms) would blow the 10ms budget, so Do
+	// must stop after one attempt instead of sleeping.
+	p := Policy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, Budget: 10 * time.Millisecond}
+	start := time.Now()
+	if err := p.Do(nil, func(int) error { calls++; return boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Fatalf("Do slept past its budget (%v)", time.Since(start))
+	}
+}
+
+func TestDoStopChannelAborts(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	calls := 0
+	err := Policy{MaxAttempts: 5}.Do(stop, func(int) error { calls++; return errors.New("x") })
+	if err != ErrStopped {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestDoStopDuringSleep(t *testing.T) {
+	stop := make(chan struct{})
+	p := Policy{MaxAttempts: 2, BaseDelay: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- p.Do(stop, func(int) error { return errors.New("x") }) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != ErrStopped {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not abort when stop closed mid-sleep")
+	}
+}
+
+func TestDelayJitterStaysBounded(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.2}
+	for i := 0; i < 200; i++ {
+		d := p.delay(1)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("jittered delay %v outside ±20%% of 100ms", d)
+		}
+	}
+}
