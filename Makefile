@@ -1,9 +1,9 @@
 GO ?= go
 
 # Packages with concurrent live-cluster paths; kept race-clean.
-RACE_PKGS = ./internal/httpd/... ./internal/loadd/... ./internal/live/... ./internal/retry/...
+RACE_PKGS = ./internal/httpd/... ./internal/loadd/... ./internal/live/... ./internal/retry/... ./internal/metrics/...
 
-.PHONY: build test vet race check
+.PHONY: build test vet race fmt-check check bench
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ vet:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# The CI gate: tier-1 build+test plus vet and the race pass over the
-# concurrent packages.
-check: build vet test race
+# gofmt prints nothing when everything is formatted; any output fails.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# The CI gate: tier-1 build+test plus vet, formatting, and the race pass
+# over the concurrent packages.
+check: build vet fmt-check test race
+
+# Regenerate the paper's evaluation on the simulated substrate and archive
+# the headline metrics machine-readably.
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sim.json
+	@echo "wrote BENCH_sim.json"

@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so benchmark runs can be
+// archived and diffed across commits:
+//
+//	go test -run '^$' -bench=. -benchmem . | go run ./cmd/benchjson > BENCH_sim.json
+//
+// Standard ns/op, B/op, and allocs/op columns land in dedicated fields;
+// anything else (the b.ReportMetric headline numbers like
+// "meiko-sustained-1.5M-rps") is collected in the per-benchmark metrics
+// map. Non-benchmark lines (PASS, ok, goos/goarch headers) pass through
+// untouched to stderr so the terminal still shows the run's verdict.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output from r, echoing non-benchmark lines
+// to passthrough (nil discards them).
+func parse(r io.Reader, passthrough io.Writer) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		b, ok := parseLine(line)
+		if !ok {
+			if passthrough != nil {
+				fmt.Fprintln(passthrough, line)
+			}
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkTable1-8   3   123456 ns/op   512 B/op   7 allocs/op   96.5 some-rps
+//
+// i.e. a Benchmark* name, an iteration count, then (value, unit) pairs.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: trimProcSuffix(fields[0]), Iterations: iters}
+	pairs := fields[2:]
+	if len(pairs)%2 != 0 {
+		return Benchmark{}, false
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		v, err := strconv.ParseFloat(pairs[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := pairs[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// trimProcSuffix drops the -GOMAXPROCS tail ("BenchmarkTable1-8" →
+// "BenchmarkTable1") so results compare across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

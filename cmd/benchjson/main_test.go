@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: sweb
+BenchmarkTable1-8   	       2	 512345678 ns/op	     120 meiko-sustained-1.5M-rps	    40960 B/op	     311 allocs/op
+BenchmarkOverhead-8 	    1000	      1042 ns/op
+PASS
+ok  	sweb	3.210s
+`
+
+func TestParseRun(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleRun), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkTable1" || b.Iterations != 2 {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.NsPerOp != 512345678 || b.BytesPerOp != 40960 || b.AllocsPerOp != 311 {
+		t.Fatalf("std metrics = %+v", b)
+	}
+	if b.Metrics["meiko-sustained-1.5M-rps"] != 120 {
+		t.Fatalf("custom metrics = %+v", b.Metrics)
+	}
+	if rep.Benchmarks[1].Name != "BenchmarkOverhead" || rep.Benchmarks[1].NsPerOp != 1042 {
+		t.Fatalf("second = %+v", rep.Benchmarks[1])
+	}
+}
+
+func TestParsePassesThroughNonBenchLines(t *testing.T) {
+	var out strings.Builder
+	if _, err := parse(strings.NewReader(sampleRun), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"goos: linux", "PASS", "ok  \tsweb"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("passthrough missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "BenchmarkTable1") {
+		t.Fatal("benchmark line leaked into passthrough")
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"Benchmark only-name",                // no iteration count
+		"BenchmarkX 2 99 ns/op extra",        // dangling value without unit
+		"BenchmarkX 2 banana ns/op",          // non-numeric value
+		"NotABenchmark 2 99 ns/op",           // wrong prefix
+		"ok  	sweb	3.210s",                   // trailer
+		"--- BENCH: BenchmarkTable1-8",       // sub-benchmark header
+		"    bench_test.go:30: some log out", // b.Log output
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as a benchmark", line)
+		}
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkTable1-8":    "BenchmarkTable1",
+		"BenchmarkTable1":      "BenchmarkTable1",
+		"BenchmarkGossip-loss": "BenchmarkGossip-loss", // non-numeric tail kept
+		"BenchmarkX-16":        "BenchmarkX",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the side-port mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -53,6 +55,8 @@ func run() error {
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint stamped on degraded 503 responses")
 	failLimit := flag.Int("fail-limit", 3, "consecutive data-path failures before a peer is scheduled around")
 	loaddTimeout := flag.Duration("loadd-timeout", 8*time.Second, "peer broadcast silence before it is considered unavailable")
+	metricsOn := flag.Bool("metrics", true, "serve /sweb/status and /sweb/metrics on the HTTP listener")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty disables)")
 	flag.Parse()
 
 	if *docroot == "" || *manifestPath == "" {
@@ -103,6 +107,8 @@ func run() error {
 		RetryAfterHint: *retryAfter,
 		FailureLimit:   *failLimit,
 		LoaddTimeout:   *loaddTimeout,
+
+		DisableIntrospection: !*metricsOn,
 	}
 	if *oraclePath != "" {
 		of, err := os.Open(*oraclePath)
@@ -130,6 +136,17 @@ func run() error {
 	}
 	srv.SetPeers(peers)
 	srv.Start()
+	if *pprofAddr != "" {
+		// The SWEB listener is a from-scratch HTTP/1.0 server; pprof needs
+		// the stdlib mux, so it gets its own side port. Opt-in only: the
+		// profiler should never share the scheduling path's fate.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "swebd: pprof:", err)
+			}
+		}()
+		fmt.Printf("swebd: pprof on http://%s/debug/pprof\n", *pprofAddr)
+	}
 	fmt.Printf("swebd: node %d serving on http://%s (loadd %s), %d documents, policy %s\n",
 		*id, srv.Addr(), srv.UDPAddr(), store.Len(), *policy)
 

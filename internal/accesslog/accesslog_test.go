@@ -135,13 +135,16 @@ func TestParseReportsLineNumber(t *testing.T) {
 	}
 }
 
-// Property: String → ParseLine round-trips for arbitrary safe fields.
+// Property: String → ParseLine round-trips for arbitrary safe fields,
+// including the "-" rendering of a missing byte count.
 func TestRoundTripProperty(t *testing.T) {
-	f := func(hostIdx uint8, pathIdx uint8, status uint16, size uint32, secs uint32) bool {
+	f := func(hostIdx, identIdx, pathIdx uint8, status uint16, size uint32, noSize bool, secs uint32) bool {
 		hosts := []string{"a.example", "10.0.0.9", "client-42.ucsb.edu"}
-		paths := []string{"/", "/a/b.html", "/cgi-bin/q.cgi?x=1", "/with%20escape"}
+		idents := []string{"", "-", "rfc931"}
+		paths := []string{"/", "/a/b.html", "/cgi-bin/q.cgi?x=1&swebr=2", "/with%20escape", "/deep/a/b/c.img?q"}
 		e := Entry{
 			Host:   hosts[int(hostIdx)%len(hosts)],
+			Ident:  idents[int(identIdx)%len(idents)],
 			Time:   time.Unix(int64(secs), 0).UTC(),
 			Method: "GET",
 			Path:   paths[int(pathIdx)%len(paths)],
@@ -149,14 +152,59 @@ func TestRoundTripProperty(t *testing.T) {
 			Status: 100 + int(status)%500,
 			Bytes:  int64(size),
 		}
+		if noSize {
+			e.Bytes = -1
+		}
 		got, err := ParseLine(e.String())
 		if err != nil {
 			return false
 		}
-		return got.Host == e.Host && got.Path == e.Path &&
+		// "" and "-" both render as "-", so compare the rendered ident.
+		wantIdent := e.Ident
+		if wantIdent == "" {
+			wantIdent = "-"
+		}
+		return got.Host == e.Host && got.Ident == wantIdent && got.Path == e.Path &&
 			got.Status == e.Status && got.Bytes == e.Bytes && got.Time.Equal(e.Time)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutilating a valid line never panics the parser, and whenever
+// the mutant still parses, re-rendering and re-parsing it is a fixed point
+// (parse ∘ render is idempotent — no field silently drifts).
+func TestMalformedLineProperty(t *testing.T) {
+	base := sampleEntry().String()
+	f := func(cut uint16, insPos uint16, insCh byte) bool {
+		// Truncations at every length and single-byte insertions anywhere.
+		mutants := []string{
+			base[:int(cut)%(len(base)+1)],
+			base[:int(insPos)%len(base)] + string(insCh) + base[int(insPos)%len(base):],
+		}
+		for _, m := range mutants {
+			e, err := ParseLine(m)
+			if err != nil {
+				continue // rejected is fine; not crashing is the property
+			}
+			again, err := ParseLine(e.String())
+			if err != nil {
+				return false
+			}
+			// Compare the time by instant: time.Parse mints a fresh
+			// FixedZone per call, so struct equality would lie.
+			if !again.Time.Equal(e.Time) {
+				return false
+			}
+			again.Time, e.Time = time.Time{}, time.Time{}
+			if again != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"sweb/internal/httpmsg"
 	"sweb/internal/retry"
 	"sweb/internal/storage"
+	"sweb/internal/trace"
 )
 
 // Markers the live protocol uses:
@@ -58,6 +59,11 @@ func (s *Server) acceptLoop() {
 			// a separate goroutine with a write deadline so one slow or
 			// absent reader can never stall the accept loop.
 			s.refused.Add(1)
+			s.drop("shed")
+			s.nm.event(trace.EvRefused)
+			if rec := s.cfg.Trace; rec.Enabled() {
+				rec.Record(rec.NewRequest(), s.nowSec(), trace.EvRefused, s.cfg.ID, "reason=capacity")
+			}
 			s.wg.Add(1)
 			go func(c net.Conn) {
 				defer s.wg.Done()
@@ -114,26 +120,58 @@ func (s *Server) logAccess(conn net.Conn, req *httpmsg.Request, status int, byte
 	_ = s.cfg.AccessLog.Log(e)
 }
 
-// handle runs the four-phase lifecycle for one connection.
+// handle runs the four-phase lifecycle for one connection, timing each
+// phase and emitting the same trace events the simulator does. Internal
+// fetches stay invisible to trace and the lifecycle metrics: they are the
+// tail of another node's fetch-nfs span, not requests of their own.
 func (s *Server) handle(conn net.Conn) {
+	t0 := time.Now()
 	br := bufio.NewReader(conn)
 
 	// Phase 1: preprocess — parse the HTTP commands and complete the path.
 	req, err := httpmsg.ReadRequest(br)
 	if err != nil {
 		s.errors.Add(1)
+		s.badRequests.Add(1)
+		s.drop("bad_request")
 		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusBadRequest, nil,
 			httpmsg.ErrorBody(httpmsg.StatusBadRequest, err.Error()))
 		s.logAccess(conn, nil, httpmsg.StatusBadRequest, -1)
 		return
 	}
-	redirects := parseRedirectCount(req.Query)
+	tParsed := time.Now()
 	internal := req.Header.Get(internalHeader) != ""
+
+	// Introspection is answered right where it arrived, like internal
+	// fetches: rescheduling /sweb/status would report the wrong node.
+	if !internal && !s.cfg.DisableIntrospection && strings.HasPrefix(req.Path, introspectPrefix) {
+		s.introspect.Add(1)
+		s.serveIntrospection(conn, req)
+		return
+	}
+
+	redirects := parseRedirectCount(req.Query)
+	rec := s.cfg.Trace
+	tid := int64(-1)
+	if !internal {
+		if rec.Enabled() {
+			tid = rec.NewRequest()
+			rec.Record(tid, s.sinceEpoch(t0), trace.EvConnected, s.cfg.ID, "")
+			rec.Record(tid, s.sinceEpoch(tParsed), trace.EvParsed, s.cfg.ID, "path="+req.Path)
+		}
+		s.nm.event(trace.EvConnected)
+		s.nm.event(trace.EvParsed)
+		s.nm.phase("parse", tParsed.Sub(t0).Seconds())
+	}
 
 	cgiFn, isCGI := s.cgiFor(req.Path)
 	file, found := s.cfg.Store.Lookup(req.Path)
 	if !found && !isCGI {
 		s.errors.Add(1)
+		s.notFound.Add(1)
+		if !internal {
+			s.drop("not_found")
+		}
 		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusNotFound, nil,
 			httpmsg.ErrorBody(httpmsg.StatusNotFound, "The requested URL was not found on this server."))
 		s.logAccess(conn, req, httpmsg.StatusNotFound, -1)
@@ -152,6 +190,9 @@ func (s *Server) handle(conn net.Conn) {
 	pinned := isCGI || req.Method == "POST"
 
 	// Phase 2: analyze — the broker picks the best node.
+	var dec core.Decision
+	scheduled := false
+	tAnalyzed := tParsed
 	if !pinned {
 		d := s.cfg.Oracle.Characterize(req.Path)
 		coreReq := core.Request{
@@ -165,8 +206,14 @@ func (s *Server) handle(conn net.Conn) {
 			CachedLocal:   s.ownsLocally(file),
 		}
 		loads := s.snapshotLoads()
-		dec := s.cfg.Policy.Choose(coreReq, s.cfg.ID, loads)
+		dec = s.cfg.Policy.Choose(coreReq, s.cfg.ID, loads)
+		scheduled = true
 		target := s.confirmTarget(dec)
+		tAnalyzed = time.Now()
+		s.nm.event(trace.EvAnalyzed)
+		s.nm.phase("analyze", tAnalyzed.Sub(tParsed).Seconds())
+		rec.Record(tid, s.sinceEpoch(tAnalyzed), trace.EvAnalyzed, s.cfg.ID,
+			fmt.Sprintf("target=%d", target))
 		if target != s.cfg.ID {
 			if peer, ok := s.peerByID(target); ok {
 				// Phase 3: redirect via a 302 with the bumped URL,
@@ -182,10 +229,29 @@ func (s *Server) handle(conn net.Conn) {
 					// its way to the peer: inflating its load view would
 					// only skew later decisions.
 					s.errors.Add(1)
+					s.drop("write_failed")
 					return
 				}
+				tSent := time.Now()
 				s.table.Bump(target)
 				s.redirected.Add(1)
+				s.nm.event(trace.EvRedirected)
+				s.nm.redirect(target)
+				s.nm.phase("redirect", tSent.Sub(tAnalyzed).Seconds())
+				rec.Record(tid, s.sinceEpoch(tSent), trace.EvRedirected, s.cfg.ID,
+					fmt.Sprintf("to=%d", target))
+				s.audit.add(DecisionAudit{
+					AtSeconds:        s.sinceEpoch(t0),
+					Path:             req.Path,
+					Policy:           s.cfg.Policy.Name(),
+					Target:           target,
+					Redirected:       true,
+					PredictedSeconds: sanitizeSeconds(dec.Estimate),
+					ActualSeconds:    -1, // fulfilled by the target node
+					ParseSeconds:     tParsed.Sub(t0).Seconds(),
+					AnalyzeSeconds:   tAnalyzed.Sub(tParsed).Seconds(),
+					Candidates:       sanitizeCandidates(dec.Candidates),
+				})
 				s.logAccess(conn, req, httpmsg.StatusMovedTemporarily, -1)
 				return
 			}
@@ -193,13 +259,54 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	// Phase 4: fulfillment.
+	tFulfill := time.Now()
+	var status int
 	switch {
 	case isCGI:
-		s.serveCGI(conn, req, cgiFn)
+		s.nm.event(trace.EvCGI)
+		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvCGI, s.cfg.ID, "path="+req.Path)
+		status = s.serveCGI(conn, req, cgiFn)
+		s.nm.phase("cgi", time.Since(tFulfill).Seconds())
 	case file.Owner == s.cfg.ID:
-		s.serveLocalFile(conn, req, file)
+		s.nm.event(trace.EvFetchLocal)
+		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchLocal, s.cfg.ID, "")
+		status = s.serveLocalFile(conn, req, file)
+		s.nm.phase("fetch_local", time.Since(tFulfill).Seconds())
 	default:
-		s.serveRemoteFile(conn, req, file)
+		s.nm.event(trace.EvFetchNFS)
+		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchNFS, s.cfg.ID,
+			fmt.Sprintf("owner=%d", file.Owner))
+		status = s.serveRemoteFile(conn, req, file)
+		s.nm.phase("fetch_nfs", time.Since(tFulfill).Seconds())
+	}
+	done := time.Now()
+	if status > 0 {
+		s.nm.event(trace.EvSent)
+		rec.Record(tid, s.sinceEpoch(done), trace.EvSent, s.cfg.ID,
+			"status="+strconv.Itoa(status))
+	}
+	total := done.Sub(t0).Seconds()
+	s.nm.response.Observe(total)
+
+	if scheduled {
+		a := DecisionAudit{
+			AtSeconds:        s.sinceEpoch(t0),
+			Path:             req.Path,
+			Policy:           s.cfg.Policy.Name(),
+			Target:           s.cfg.ID,
+			PredictedSeconds: sanitizeSeconds(dec.Estimate),
+			ActualSeconds:    total,
+			ParseSeconds:     tParsed.Sub(t0).Seconds(),
+			AnalyzeSeconds:   tAnalyzed.Sub(tParsed).Seconds(),
+			FulfillSeconds:   done.Sub(tFulfill).Seconds(),
+			Candidates:       sanitizeCandidates(dec.Candidates),
+		}
+		s.audit.add(a)
+		// Compare prediction to reality only for clean local service: an
+		// error path measures the failure handling, not t_s.
+		if status == httpmsg.StatusOK || status == httpmsg.StatusNotModified {
+			s.recordPrediction(dec, a)
+		}
 	}
 }
 
@@ -322,30 +429,33 @@ func (s *Server) localPath(urlPath string) string {
 	return filepath.Join(s.cfg.DocRoot, filepath.FromSlash(strings.TrimPrefix(urlPath, "/")))
 }
 
-// serveLocalFile streams a document from the node's own disk. diskActive
-// is held for the whole transfer — the disk is read as the body streams,
-// so releasing the counter at open time would hide disk pressure from the
+// serveLocalFile streams a document from the node's own disk and returns
+// the status written (0 when the write itself failed). diskActive is held
+// for the whole transfer — the disk is read as the body streams, so
+// releasing the counter at open time would hide disk pressure from the
 // scheduler exactly while the disk is busiest.
-func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storage.File) {
+func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storage.File) int {
 	s.diskActive.Add(1)
 	defer s.diskActive.Add(-1)
 	f, err := os.Open(s.localPath(req.Path))
 	if err != nil {
 		s.errors.Add(1)
+		s.drop("local_io")
 		code := httpmsg.StatusNotFound
 		if os.IsPermission(err) {
 			code = httpmsg.StatusForbidden
 		}
 		_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, "Cannot open document."))
-		return
+		return code
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
 		s.errors.Add(1)
+		s.drop("local_io")
 		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusInternalServerError, nil,
 			httpmsg.ErrorBody(httpmsg.StatusInternalServerError, "stat failed"))
-		return
+		return httpmsg.StatusInternalServerError
 	}
 	// Conditional GET (RFC 1945 §10.9): a browser revalidating its cache
 	// sends If-Modified-Since and gets a body-less 304 if the document is
@@ -356,9 +466,9 @@ func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storag
 		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusNotModified, h, nil)
 		s.served.Add(1)
 		s.logAccess(conn, req, httpmsg.StatusNotModified, -1)
-		return
+		return httpmsg.StatusNotModified
 	}
-	s.streamResponse(conn, req, fi.Size(), f, fi.ModTime())
+	return s.streamResponse(conn, req, fi.Size(), f, fi.ModTime())
 }
 
 // serveRemoteFile fetches the document from its owner (the NFS stand-in)
@@ -367,13 +477,14 @@ func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storag
 // failure feeds the loadd health view — and only once the budget is spent
 // does the client see the degradation ladder's last rung: 503 with a
 // Retry-After hint.
-func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file storage.File) {
+func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file storage.File) int {
 	peer, ok := s.peerByID(file.Owner)
 	if !ok {
 		s.errors.Add(1)
+		s.drop("owner_unknown")
 		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusInternalServerError, nil,
 			httpmsg.ErrorBody(httpmsg.StatusInternalServerError, "owner unknown"))
-		return
+		return httpmsg.StatusInternalServerError
 	}
 	s.internalFetch.Add(1)
 	s.netActive.Add(1)
@@ -397,15 +508,17 @@ func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file stora
 	})
 	if err != nil {
 		s.errors.Add(1)
+		s.fetchFailed.Add(1)
+		s.drop("owner_unreachable")
 		h := httpmsg.Header{}
 		h.Set("Retry-After", s.retryAfterSeconds())
 		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, h,
 			httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner unreachable"))
 		s.logAccess(conn, req, httpmsg.StatusServiceUnavailable, -1)
-		return
+		return httpmsg.StatusServiceUnavailable
 	}
 	s.table.MarkSuccess(file.Owner)
-	s.streamResponse(conn, req, int64(len(resp.Body)), bytes.NewReader(resp.Body), time.Time{})
+	return s.streamResponse(conn, req, int64(len(resp.Body)), bytes.NewReader(resp.Body), time.Time{})
 }
 
 // fetchFromPeer performs one internal GET against the owning node.
@@ -436,24 +549,30 @@ func (s *Server) fetchFromPeer(peer Peer, path string) (*httpmsg.Response, error
 	return resp, nil
 }
 
-// serveCGI executes a registered dynamic endpoint.
-func (s *Server) serveCGI(conn net.Conn, req *httpmsg.Request, fn CGIFunc) {
+// serveCGI executes a registered dynamic endpoint, returning the status
+// written (0 when the write failed).
+func (s *Server) serveCGI(conn net.Conn, req *httpmsg.Request, fn CGIFunc) int {
 	body, ctype := fn(req.Query, req.Body)
 	if ctype == "" {
 		ctype = "text/html"
 	}
 	h := httpmsg.Header{}
 	h.Set("Content-Type", ctype)
-	if err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusOK, h, body); err == nil {
-		s.served.Add(1)
-		s.bytesOut.Add(int64(len(body)))
-		s.logAccess(conn, req, httpmsg.StatusOK, int64(len(body)))
+	if err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusOK, h, body); err != nil {
+		s.drop("write_failed")
+		return 0
 	}
+	s.served.Add(1)
+	s.bytesOut.Add(int64(len(body)))
+	s.logAccess(conn, req, httpmsg.StatusOK, int64(len(body)))
+	return httpmsg.StatusOK
 }
 
 // streamResponse writes the response header and body in the httpd
-// write-loop style. A zero modTime omits Last-Modified (relayed content).
-func (s *Server) streamResponse(conn net.Conn, req *httpmsg.Request, size int64, body io.Reader, modTime time.Time) {
+// write-loop style, returning the status written (0 when the write
+// failed mid-flight). A zero modTime omits Last-Modified (relayed
+// content).
+func (s *Server) streamResponse(conn net.Conn, req *httpmsg.Request, size int64, body io.Reader, modTime time.Time) int {
 	s.netActive.Add(1)
 	defer s.netActive.Add(-1)
 	bw := bufio.NewWriter(conn)
@@ -465,20 +584,24 @@ func (s *Server) streamResponse(conn net.Conn, req *httpmsg.Request, size int64,
 	}
 	if err := httpmsg.WriteResponseHeader(bw, httpmsg.StatusOK, h); err != nil {
 		s.errors.Add(1)
-		return
+		s.drop("write_failed")
+		return 0
 	}
 	if req.Method != "HEAD" {
 		n, err := io.Copy(bw, body)
 		s.bytesOut.Add(n)
 		if err != nil {
 			s.errors.Add(1)
-			return
+			s.drop("write_failed")
+			return 0
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		s.errors.Add(1)
-		return
+		s.drop("write_failed")
+		return 0
 	}
 	s.served.Add(1)
 	s.logAccess(conn, req, httpmsg.StatusOK, size)
+	return httpmsg.StatusOK
 }

@@ -1,0 +1,109 @@
+package httpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"time"
+
+	"sweb/internal/httpmsg"
+	"sweb/internal/loadd"
+	"sweb/internal/metrics"
+)
+
+// introspectPrefix guards the per-node observability endpoints. Like
+// X-Sweb-Internal fetches they are served where they arrive, never
+// re-scheduled: a 302 to a "less loaded" peer would answer with the wrong
+// node's state.
+const introspectPrefix = "/sweb/"
+
+// StatusConfig is the slice of Config worth seeing from outside.
+type StatusConfig struct {
+	Policy              string  `json:"policy"`
+	MaxConcurrent       int     `json:"max_concurrent"`
+	FetchAttempts       int     `json:"fetch_attempts"`
+	FailureLimit        int     `json:"failure_limit"`
+	LoaddPeriodSeconds  float64 `json:"loadd_period_seconds"`
+	LoaddTimeoutSeconds float64 `json:"loadd_timeout_seconds"`
+	DocRoot             string  `json:"doc_root"`
+}
+
+// StatusReport is the /sweb/status payload: one node's counters, its view
+// of every peer's health, the recent scheduling decisions with their
+// measured outcomes, and the config shaping them.
+type StatusReport struct {
+	Node          int                `json:"node"`
+	Addr          string             `json:"addr"`
+	UDPAddr       string             `json:"udp_addr"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Stats         Stats              `json:"stats"`
+	Peers         []loadd.PeerHealth `json:"peers"`
+	Decisions     []DecisionAudit    `json:"decisions"`
+	Config        StatusConfig       `json:"config"`
+}
+
+// StatusReport snapshots the node for /sweb/status (exported for the
+// cluster doctor and tests).
+func (s *Server) StatusReport() StatusReport {
+	return StatusReport{
+		Node:          s.cfg.ID,
+		Addr:          s.Addr(),
+		UDPAddr:       s.UDPAddr(),
+		UptimeSeconds: time.Since(s.epoch).Seconds(),
+		Stats:         s.Stats(),
+		Peers:         s.table.Health(s.nowSec()),
+		Decisions:     s.audit.snapshot(),
+		Config: StatusConfig{
+			Policy:              s.cfg.Policy.Name(),
+			MaxConcurrent:       s.cfg.MaxConcurrent,
+			FetchAttempts:       s.cfg.FetchAttempts,
+			FailureLimit:        s.cfg.FailureLimit,
+			LoaddPeriodSeconds:  s.cfg.LoaddPeriod.Seconds(),
+			LoaddTimeoutSeconds: s.cfg.LoaddTimeout.Seconds(),
+			DocRoot:             s.cfg.DocRoot,
+		},
+	}
+}
+
+// Registry exposes the node's metric registry (tests, embedding).
+func (s *Server) Registry() *metrics.Registry { return s.nm.reg }
+
+// serveIntrospection answers /sweb/status and /sweb/metrics on the main
+// listener and returns the status written.
+func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
+	var body []byte
+	ctype := "text/plain; version=0.0.4"
+	switch req.Path {
+	case "/sweb/status":
+		b, err := json.MarshalIndent(s.StatusReport(), "", "  ")
+		if err != nil {
+			code := httpmsg.StatusInternalServerError
+			_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(conn, req, code, -1)
+			return code
+		}
+		body, ctype = append(b, '\n'), "application/json"
+	case "/sweb/metrics":
+		var buf bytes.Buffer
+		if err := s.nm.reg.WriteText(&buf); err != nil {
+			code := httpmsg.StatusInternalServerError
+			_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(conn, req, code, -1)
+			return code
+		}
+		body = buf.Bytes()
+	default:
+		code := httpmsg.StatusNotFound
+		_ = httpmsg.WriteSimpleResponse(conn, code, nil,
+			httpmsg.ErrorBody(code, "No such introspection endpoint."))
+		s.logAccess(conn, req, code, -1)
+		return code
+	}
+	h := httpmsg.Header{}
+	h.Set("Content-Type", ctype)
+	if err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusOK, h, body); err != nil {
+		return 0
+	}
+	s.logAccess(conn, req, httpmsg.StatusOK, int64(len(body)))
+	return httpmsg.StatusOK
+}

@@ -1,0 +1,224 @@
+package httpd
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"sweb/internal/core"
+	"sweb/internal/metrics"
+	"sweb/internal/trace"
+)
+
+// Metric families every live node serves under /sweb/metrics. The event
+// counter mirrors the trace.Kind vocabulary so the exposition and the
+// trace renderers describe the lifecycle in the same words; the phase
+// histograms are the live analogue of Table 5's per-phase costs; the
+// sched_* families compare the broker's predicted t_s terms against what
+// the node then measured.
+const (
+	mEvents         = "sweb_events_total"
+	mPhase          = "sweb_phase_seconds"
+	mResponse       = "sweb_response_seconds"
+	mDrops          = "sweb_drops_total"
+	mRedirects      = "sweb_redirect_targets_total"
+	mSchedPredicted = "sweb_sched_predicted_seconds_total"
+	mSchedActual    = "sweb_sched_actual_seconds_total"
+	mSchedCompared  = "sweb_sched_compared_total"
+	mSchedAbsErr    = "sweb_sched_abs_error_seconds"
+)
+
+// nodeMetrics caches the fixed-label handles the request path touches on
+// every request; dynamic-label instances (event kinds, drop causes,
+// redirect targets) go through the registry, which dedups by signature.
+type nodeMetrics struct {
+	reg      *metrics.Registry
+	response *metrics.Histogram
+	compared *metrics.Counter
+	absErr   *metrics.Histogram
+}
+
+func newNodeMetrics(s *Server) *nodeMetrics {
+	reg := metrics.NewRegistry()
+	m := &nodeMetrics{
+		reg: reg,
+		response: reg.Histogram(mResponse,
+			"end-to-end service time per handled request", nil, nil),
+		compared: reg.Counter(mSchedCompared,
+			"requests with both a finite prediction and a measured total", nil),
+		absErr: reg.Histogram(mSchedAbsErr,
+			"absolute error |predicted - actual| of the broker's t_s", nil, nil),
+	}
+	reg.GaugeFunc("sweb_inflight", "connections being handled now", nil,
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("sweb_disk_active", "in-progress local disk reads", nil,
+		func() float64 { return float64(s.diskActive.Load()) })
+	reg.GaugeFunc("sweb_net_active", "in-progress transfers and fetches", nil,
+		func() float64 { return float64(s.netActive.Load()) })
+	reg.CounterFunc("sweb_bytes_out_total", "response body bytes written", nil,
+		func() float64 { return float64(s.bytesOut.Load()) })
+	return m
+}
+
+func (m *nodeMetrics) event(kind trace.Kind) {
+	m.reg.Counter(mEvents, "request lifecycle events by trace kind",
+		metrics.Labels{"event": string(kind)}).Inc()
+}
+
+func (m *nodeMetrics) drop(cause string) {
+	m.reg.Counter(mDrops, "requests not served in full, by cause",
+		metrics.Labels{"cause": cause}).Inc()
+}
+
+func (m *nodeMetrics) phase(phase string, seconds float64) {
+	m.reg.Histogram(mPhase, "time spent per lifecycle phase",
+		metrics.Labels{"phase": phase}, nil).Observe(seconds)
+}
+
+func (m *nodeMetrics) redirect(target int) {
+	m.reg.Counter(mRedirects, "302s issued, by target node",
+		metrics.Labels{"target": strconv.Itoa(target)}).Inc()
+}
+
+// prediction accumulates one predicted/actual pair for a t_s phase
+// ("cpu", "data", "total"); the cluster report divides the two sums to
+// get mean predicted vs mean actual per phase.
+func (m *nodeMetrics) prediction(phase string, predicted, actual float64) {
+	m.reg.Counter(mSchedPredicted, "sum of broker-predicted seconds by t_s phase",
+		metrics.Labels{"phase": phase}).Add(predicted)
+	m.reg.Counter(mSchedActual, "sum of measured seconds by t_s phase",
+		metrics.Labels{"phase": phase}).Add(actual)
+}
+
+// AuditCandidate is one row of a recorded decision's cost table — a
+// core.CostBreakdown with its +Inf sentinel replaced by -1 so the audit
+// survives encoding/json (which rejects infinities).
+type AuditCandidate struct {
+	Node            int     `json:"node"`
+	RedirectSeconds float64 `json:"redirect_seconds"`
+	DataSeconds     float64 `json:"data_seconds"`
+	CPUSeconds      float64 `json:"cpu_seconds"`
+	NetSeconds      float64 `json:"net_seconds"`
+	TotalSeconds    float64 `json:"total_seconds"` // -1 when infeasible
+	Infeasible      bool    `json:"infeasible"`
+}
+
+// DecisionAudit records one scheduling decision next to the timings the
+// node then measured — the per-request audit trail behind /sweb/status.
+// ActualSeconds is -1 for redirected requests (fulfilled elsewhere).
+type DecisionAudit struct {
+	Seq              int64            `json:"seq"`
+	AtSeconds        float64          `json:"at_seconds"`
+	Path             string           `json:"path"`
+	Policy           string           `json:"policy"`
+	Target           int              `json:"target"`
+	Redirected       bool             `json:"redirected"`
+	PredictedSeconds float64          `json:"predicted_seconds"` // -1 without a finite estimate
+	ActualSeconds    float64          `json:"actual_seconds"`
+	ParseSeconds     float64          `json:"parse_seconds"`
+	AnalyzeSeconds   float64          `json:"analyze_seconds"`
+	FulfillSeconds   float64          `json:"fulfill_seconds"`
+	Candidates       []AuditCandidate `json:"candidates,omitempty"`
+}
+
+func sanitizeSeconds(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+func sanitizeCandidates(cands []core.CostBreakdown) []AuditCandidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	out := make([]AuditCandidate, len(cands))
+	for i, cb := range cands {
+		out[i] = AuditCandidate{
+			Node:            cb.Node,
+			RedirectSeconds: sanitizeSeconds(cb.Redirect),
+			DataSeconds:     sanitizeSeconds(cb.Data),
+			CPUSeconds:      sanitizeSeconds(cb.CPU),
+			NetSeconds:      sanitizeSeconds(cb.Net),
+			TotalSeconds:    sanitizeSeconds(cb.Total),
+			Infeasible:      cb.Infeasible,
+		}
+	}
+	return out
+}
+
+// auditCap bounds the decision audit: enough recent decisions to diagnose
+// a placement anomaly without letting a long run grow the status payload.
+const auditCap = 128
+
+// auditLog is a fixed-size ring of the most recent decisions.
+type auditLog struct {
+	mu   sync.Mutex
+	seq  int64
+	ring []DecisionAudit
+	next int
+	full bool
+}
+
+func newAuditLog(n int) *auditLog {
+	return &auditLog{ring: make([]DecisionAudit, n)}
+}
+
+func (a *auditLog) add(d DecisionAudit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	d.Seq = a.seq
+	a.ring[a.next] = d
+	a.next++
+	if a.next == len(a.ring) {
+		a.next = 0
+		a.full = true
+	}
+}
+
+// snapshot returns the retained decisions, oldest first.
+func (a *auditLog) snapshot() []DecisionAudit {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.full {
+		return append([]DecisionAudit(nil), a.ring[:a.next]...)
+	}
+	out := make([]DecisionAudit, 0, len(a.ring))
+	out = append(out, a.ring[a.next:]...)
+	return append(out, a.ring[:a.next]...)
+}
+
+// recordPrediction feeds the predicted-vs-actual accumulators once a
+// scheduled request finished cleanly on this node. With a full SWEB cost
+// table the comparison is per phase (t_CPU vs parse+analyze, t_data+t_net
+// vs fulfillment); policies that predict only a scalar (rr, cpu) compare
+// totals — the report then shows exactly how blind they are, which is the
+// paper's point.
+func (s *Server) recordPrediction(dec core.Decision, a DecisionAudit) {
+	var cb *core.CostBreakdown
+	if id := s.cfg.ID; id < len(dec.Candidates) && !dec.Candidates[id].Infeasible {
+		cb = &dec.Candidates[id]
+	}
+	switch {
+	case cb != nil && !math.IsInf(cb.Total, 0):
+		s.nm.prediction("cpu", cb.CPU, a.ParseSeconds+a.AnalyzeSeconds)
+		s.nm.prediction("data", cb.Data+cb.Net, a.FulfillSeconds)
+		s.nm.prediction("total", cb.Total, a.ActualSeconds)
+		s.nm.compared.Inc()
+		s.nm.absErr.Observe(math.Abs(cb.Total - a.ActualSeconds))
+	case a.PredictedSeconds >= 0:
+		s.nm.prediction("total", a.PredictedSeconds, a.ActualSeconds)
+		s.nm.compared.Inc()
+		s.nm.absErr.Observe(math.Abs(a.PredictedSeconds - a.ActualSeconds))
+	}
+}
+
+// drop counts one dropped/degraded request both in the per-cause Stats
+// map and the exposition counter.
+func (s *Server) drop(cause string) {
+	s.dropMu.Lock()
+	s.dropCounts[cause]++
+	s.dropMu.Unlock()
+	s.nm.drop(cause)
+}

@@ -21,6 +21,7 @@ import (
 	"sweb/internal/oracle"
 	"sweb/internal/retry"
 	"sweb/internal/storage"
+	"sweb/internal/trace"
 )
 
 // Peer identifies one cluster member.
@@ -96,6 +97,15 @@ type Config struct {
 	// AccessLog, when non-nil, receives one NCSA Common Log Format line
 	// per handled request. Flush it before reading.
 	AccessLog *accesslog.Logger
+
+	// Trace, when non-nil, receives the same lifecycle events the
+	// simulator emits (connected → parsed → analyzed → redirected /
+	// fetch-local / fetch-nfs / cgi → sent), timed in seconds since the
+	// server's start. A nil recorder costs nothing on the hot path.
+	Trace *trace.Recorder
+	// DisableIntrospection turns off the /sweb/status and /sweb/metrics
+	// endpoints (served by default on the main listener).
+	DisableIntrospection bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -159,17 +169,26 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// Stats are the server's cumulative counters.
+// Stats are the server's cumulative counters (Inflight is the only
+// instantaneous value). Drops maps a degradation cause ("shed",
+// "bad_request", "not_found", "owner_unreachable", ...) to its count —
+// the same cells the sweb_drops_total metric exposes.
 type Stats struct {
-	Accepted      int64
-	Refused       int64
-	Served        int64
-	Redirected    int64
-	InternalFetch int64
-	Errors        int64
-	BytesOut      int64
-	Broadcasts    int64
-	SamplesHeard  int64
+	Accepted      int64            `json:"accepted"`
+	Refused       int64            `json:"refused"`
+	Served        int64            `json:"served"`
+	Redirected    int64            `json:"redirected"`
+	InternalFetch int64            `json:"internal_fetch"`
+	Errors        int64            `json:"errors"`
+	BadRequests   int64            `json:"bad_requests"`
+	NotFound      int64            `json:"not_found"`
+	FetchFailed   int64            `json:"fetch_failed"`
+	Introspect    int64            `json:"introspect"`
+	BytesOut      int64            `json:"bytes_out"`
+	Inflight      int64            `json:"inflight"`
+	Broadcasts    int64            `json:"broadcasts"`
+	SamplesHeard  int64            `json:"samples_heard"`
+	Drops         map[string]int64 `json:"drops,omitempty"`
 }
 
 // Server is one live SWEB node.
@@ -190,6 +209,14 @@ type Server struct {
 	accepted, refused, served, redirected atomic.Int64
 	internalFetch, errors, bytesOut       atomic.Int64
 	broadcasts, samplesHeard              atomic.Int64
+	badRequests, notFound                 atomic.Int64
+	fetchFailed, introspect               atomic.Int64
+
+	dropMu     sync.Mutex
+	dropCounts map[string]int64
+
+	nm    *nodeMetrics
+	audit *auditLog
 
 	cgiMu sync.RWMutex
 	cgi   map[string]CGIFunc
@@ -221,15 +248,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("httpd: udp listen %s: %w", cfg.UDPAddr, err)
 	}
 	s := &Server{
-		cfg:    cfg,
-		ln:     ln,
-		udp:    udp,
-		table:  newHealthTable(cfg),
-		epoch:  time.Now(),
-		peers:  make(map[int]Peer),
-		cgi:    make(map[string]CGIFunc),
-		closed: make(chan struct{}),
+		cfg:        cfg,
+		ln:         ln,
+		udp:        udp,
+		table:      newHealthTable(cfg),
+		epoch:      time.Now(),
+		peers:      make(map[int]Peer),
+		cgi:        make(map[string]CGIFunc),
+		closed:     make(chan struct{}),
+		dropCounts: make(map[string]int64),
+		audit:      newAuditLog(auditCap),
 	}
+	s.nm = newNodeMetrics(s)
 	return s, nil
 }
 
@@ -300,23 +330,40 @@ func (s *Server) Close() {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Accepted:      s.accepted.Load(),
 		Refused:       s.refused.Load(),
 		Served:        s.served.Load(),
 		Redirected:    s.redirected.Load(),
 		InternalFetch: s.internalFetch.Load(),
 		Errors:        s.errors.Load(),
+		BadRequests:   s.badRequests.Load(),
+		NotFound:      s.notFound.Load(),
+		FetchFailed:   s.fetchFailed.Load(),
+		Introspect:    s.introspect.Load(),
 		BytesOut:      s.bytesOut.Load(),
+		Inflight:      s.inflight.Load(),
 		Broadcasts:    s.broadcasts.Load(),
 		SamplesHeard:  s.samplesHeard.Load(),
 	}
+	s.dropMu.Lock()
+	if len(s.dropCounts) > 0 {
+		st.Drops = make(map[string]int64, len(s.dropCounts))
+		for k, v := range s.dropCounts {
+			st.Drops[k] = v
+		}
+	}
+	s.dropMu.Unlock()
+	return st
 }
 
 // Table exposes the loadd table (tests and the doctor CLI).
 func (s *Server) Table() *loadd.Table { return s.table }
 
 func (s *Server) nowSec() float64 { return time.Since(s.epoch).Seconds() }
+
+// sinceEpoch converts a wall-clock instant to trace time.
+func (s *Server) sinceEpoch(t time.Time) float64 { return t.Sub(s.epoch).Seconds() }
 
 // sample builds this node's load broadcast.
 func (s *Server) sample() loadd.Sample {

@@ -1,10 +1,12 @@
 package live
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"sweb/internal/metrics"
 	"sweb/internal/storage"
 )
 
@@ -127,6 +129,16 @@ func TestChaosNodeKilledMidRun(t *testing.T) {
 		}
 	}
 
+	// The scraped metrics must tell the same story: only the survivors
+	// answer /sweb/metrics, and from here on the cluster-wide count of
+	// 302s aimed at the dead node must not move.
+	preSamples, up := cl.ScrapeMetrics()
+	if up != nodes-1 {
+		t.Fatalf("scrape reached %d nodes, want %d survivors", up, nodes-1)
+	}
+	deadTargetLabel := metrics.Labels{"target": strconv.Itoa(dead)}
+	deadRedirectsBefore := MetricValue(preSamples, "sweb_redirect_targets_total", deadTargetLabel)
+
 	// Owner-dead documents degrade to 503 + Retry-After, and only after
 	// the retry budget: the two backoff sleeps put a floor on elapsed.
 	deadPath := byOwner[dead][0]
@@ -149,6 +161,30 @@ func TestChaosNodeKilledMidRun(t *testing.T) {
 		if err != nil || res.Status != 200 {
 			t.Fatalf("post-timeout %s: res=%+v err=%v", p, res, err)
 		}
+	}
+
+	// Post-mortem via the observability layer: the owner-dead 503 shows up
+	// as an owner_unreachable drop, the post-expiry traffic added no 302s
+	// toward the corpse, and the cluster report agrees nothing was refused.
+	postSamples, up := cl.ScrapeMetrics()
+	if up != nodes-1 {
+		t.Fatalf("post-traffic scrape reached %d nodes, want %d", up, nodes-1)
+	}
+	if v := MetricValue(postSamples, "sweb_drops_total", metrics.Labels{"cause": "owner_unreachable"}); v < 1 {
+		t.Fatalf("owner_unreachable drops = %v, want >= 1", v)
+	}
+	if after := MetricValue(postSamples, "sweb_redirect_targets_total", deadTargetLabel); after != deadRedirectsBefore {
+		t.Fatalf("redirects to dead node grew after expiry: %v -> %v", deadRedirectsBefore, after)
+	}
+	rep, err := cl.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NodesUp != nodes-1 || rep.Refused != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Drops["owner_unreachable"] < 1 {
+		t.Fatalf("report drops = %v", rep.Drops)
 	}
 }
 

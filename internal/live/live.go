@@ -23,6 +23,7 @@ import (
 	"sweb/internal/httpmsg"
 	"sweb/internal/retry"
 	"sweb/internal/storage"
+	"sweb/internal/trace"
 )
 
 // Options configures a live cluster.
@@ -61,6 +62,13 @@ type Options struct {
 	FailureLimit int
 	// Faults, when non-nil, injects gossip loss and fetch latency.
 	Faults *Faults
+	// Trace, when non-nil, is shared by every node: each request's
+	// lifecycle events land in one recorder, aggregable by the same
+	// renderers the simulator uses.
+	Trace *trace.Recorder
+	// DisableIntrospection turns off /sweb/status and /sweb/metrics on
+	// every node.
+	DisableIntrospection bool
 	// Seed drives file content generation.
 	Seed int64
 }
@@ -124,6 +132,9 @@ func Start(o Options) (*Cluster, error) {
 			FailureLimit:   o.FailureLimit,
 			DropBroadcast:  o.Faults.dropFn(int64(i)),
 			DialDelay:      o.Faults.delayFn(),
+			Trace:          o.Trace,
+
+			DisableIntrospection: o.DisableIntrospection,
 		}
 		srv, err := httpd.New(cfg)
 		if err != nil {

@@ -13,6 +13,7 @@ package loadd
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"sweb/internal/core"
@@ -220,6 +221,57 @@ func (t *Table) Available(node int, now float64) bool {
 	e := t.entries[node]
 	return e != nil && e.haveSample && now-e.receivedAt <= t.timeout &&
 		e.failures < t.failLimit
+}
+
+// PeerHealth is one row of the table's introspection snapshot (served by
+// the live nodes under /sweb/status): the raw ingredients of the
+// availability verdict — broadcast freshness, the data-path failure
+// streak, and pending anti-herd bumps — next to the last advertised loads.
+type PeerHealth struct {
+	Node       int     `json:"node"`
+	HaveSample bool    `json:"have_sample"`
+	Available  bool    `json:"available"`
+	Failures   int     `json:"failures"`
+	Bumps      int     `json:"bumps"`
+	AgeSeconds float64 `json:"age_seconds"` // since the last broadcast; -1 with no sample
+	CPULoad    float64 `json:"cpu_load"`
+	DiskLoad   float64 `json:"disk_load"`
+	NetLoad    float64 `json:"net_load"`
+}
+
+// Health snapshots every known entry for introspection, sorted by node id,
+// applying the same freshness and failure-streak rules as Available. Where
+// Snapshot renders the broker's (bump-inflated) view, Health reports the
+// raw samples plus the verdict's inputs, so an operator can see *why* a
+// peer is being scheduled around.
+func (t *Table) Health(now float64) []PeerHealth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int, 0, len(t.entries))
+	for id := range t.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]PeerHealth, 0, len(ids))
+	for _, id := range ids {
+		e := t.entries[id]
+		h := PeerHealth{
+			Node:       id,
+			HaveSample: e.haveSample,
+			Failures:   e.failures,
+			Bumps:      e.bumps,
+			AgeSeconds: -1,
+		}
+		if e.haveSample {
+			h.AgeSeconds = now - e.receivedAt
+			h.Available = h.AgeSeconds <= t.timeout && e.failures < t.failLimit
+			h.CPULoad = e.sample.CPULoad
+			h.DiskLoad = e.sample.DiskLoad
+			h.NetLoad = e.sample.NetLoad
+		}
+		out = append(out, h)
+	}
+	return out
 }
 
 // Forget drops a peer entirely (a node leaving the resource pool

@@ -445,3 +445,41 @@ func TestMarkFailureUnknownPeerTracked(t *testing.T) {
 		t.Fatal("never-heard peer reported available")
 	}
 }
+
+func TestHealthSnapshot(t *testing.T) {
+	tb := NewTable(0, 8, 0.3)
+	_ = tb.Update(sample(2, 0.5, 0.25, 0.125, 0), 0) // fresh at now=1
+	_ = tb.Update(sample(1, 1, 1, 1, 0), 0)          // will look stale
+	tb.Bump(2)
+	tb.MarkFailure(1)
+	tb.MarkFailure(3) // failures before any broadcast
+
+	h := tb.Health(20) // node 1 and 2 are 20s old, past the 8s timeout
+	if len(h) != 3 || h[0].Node != 1 || h[1].Node != 2 || h[2].Node != 3 {
+		t.Fatalf("health rows = %+v", h)
+	}
+	if h[0].Available || h[1].Available {
+		t.Fatal("stale peers reported available")
+	}
+
+	h = tb.Health(1)
+	if !h[1].Available || h[1].Bumps != 1 || h[1].AgeSeconds != 1 {
+		t.Fatalf("node 2 row = %+v", h[1])
+	}
+	if h[1].CPULoad != 0.5 || h[1].DiskLoad != 0.25 || h[1].NetLoad != 0.125 {
+		t.Fatalf("node 2 loads = %+v", h[1])
+	}
+	if h[0].Failures != 1 || !h[0].Available {
+		// One failure is under DefaultFailureLimit; still available.
+		t.Fatalf("node 1 row = %+v", h[0])
+	}
+	if h[2].HaveSample || h[2].Available || h[2].AgeSeconds != -1 || h[2].Failures != 1 {
+		t.Fatalf("node 3 (no sample) row = %+v", h[2])
+	}
+
+	tb.MarkFailure(1)
+	tb.MarkFailure(1)
+	if h = tb.Health(1); h[0].Available {
+		t.Fatal("failure streak at limit still reported available")
+	}
+}

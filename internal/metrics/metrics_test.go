@@ -1,0 +1,250 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter", nil)
+	c.Inc()
+	c.Add(2.5)
+	if c.Value() != 3.5 {
+		t.Fatalf("counter = %v", c.Value())
+	}
+	if r.Counter("c_total", "a counter", nil) != c {
+		t.Fatal("same name+labels did not return the same counter")
+	}
+	g := r.Gauge("g", "a gauge", Labels{"node": "0"})
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	if r.Gauge("g", "a gauge", Labels{"node": "1"}) == g {
+		t.Fatal("different labels returned the same gauge")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on counter/gauge name collision")
+		}
+	}()
+	r.Gauge("x", "", nil)
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", nil, []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.565) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// le="0.01" is inclusive: 0.005 and 0.01 both land there.
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 2`,
+		`h_seconds_bucket{le="0.1"} 3`,
+		`h_seconds_bucket{le="1"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ev_total", "events", Labels{"kind": "sent"}).Add(12)
+	r.Counter("ev_total", "events", Labels{"kind": "refused"}).Add(3)
+	r.Gauge("inflight", "open conns", nil).Set(4)
+	r.GaugeFunc("disk_active", "disk readers", nil, func() float64 { return 2 })
+	r.Histogram("lat_seconds", "latency", Labels{"phase": "parse"}, []float64{0.001, 1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, labels Labels, want float64) {
+		t.Helper()
+		got, ok := Value(samples, name, labels)
+		if !ok || got != want {
+			t.Fatalf("%s%v = %v (found=%v), want %v", name, labels, got, ok, want)
+		}
+	}
+	check("ev_total", Labels{"kind": "sent"}, 12)
+	check("ev_total", Labels{"kind": "refused"}, 3)
+	check("inflight", nil, 4)
+	check("disk_active", nil, 2)
+	check("lat_seconds_bucket", Labels{"phase": "parse", "le": "0.001"}, 0)
+	check("lat_seconds_bucket", Labels{"phase": "parse", "le": "1"}, 1)
+	check("lat_seconds_bucket", Labels{"phase": "parse", "le": "+Inf"}, 1)
+	check("lat_seconds_sum", Labels{"phase": "parse"}, 0.5)
+	check("lat_seconds_count", Labels{"phase": "parse"}, 1)
+}
+
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	odd := `he said "hi\there"` + "\nnewline"
+	r.Counter("odd_total", "", Labels{"path": odd}).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Labels["path"] != odd {
+		t.Fatalf("round trip mangled label: %+v", samples)
+	}
+}
+
+func TestMergeSamples(t *testing.T) {
+	a := []Sample{
+		{Name: "x_total", Labels: Labels{"k": "1"}, Value: 2},
+		{Name: "y", Value: 5},
+	}
+	b := []Sample{
+		{Name: "x_total", Labels: Labels{"k": "1"}, Value: 3},
+		{Name: "x_total", Labels: Labels{"k": "2"}, Value: 7},
+	}
+	merged := MergeSamples(a, b)
+	if v, _ := Value(merged, "x_total", Labels{"k": "1"}); v != 5 {
+		t.Fatalf("merged x{k=1} = %v", v)
+	}
+	if v, _ := Value(merged, "x_total", Labels{"k": "2"}); v != 7 {
+		t.Fatalf("merged x{k=2} = %v", v)
+	}
+	if v, _ := Value(merged, "y", nil); v != 5 {
+		t.Fatalf("merged y = %v", v)
+	}
+	if _, ok := Value(merged, "absent", nil); ok {
+		t.Fatal("absent sample reported present")
+	}
+}
+
+func TestBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", Labels{"phase": "send"}, []float64{1, 2, 4})
+	// 100 observations uniform over (0,4): quantiles interpolate.
+	for i := 0; i < 100; i++ {
+		h.Observe(4 * float64(i) / 100)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := Buckets(samples, "q_seconds", Labels{"phase": "send"})
+	if len(buckets) != 4 || !math.IsInf(buckets[3].UpperBound, 1) {
+		t.Fatalf("buckets = %+v", buckets)
+	}
+	p50 := HistogramQuantile(0.5, buckets)
+	if p50 < 1.5 || p50 > 2.5 {
+		t.Fatalf("p50 = %v, want ≈2", p50)
+	}
+	p95 := HistogramQuantile(0.95, buckets)
+	if p95 < 3.3 || p95 > 4.0 {
+		t.Fatalf("p95 = %v, want ≈3.8", p95)
+	}
+	if !math.IsNaN(HistogramQuantile(0.5, nil)) {
+		t.Fatal("empty buckets should yield NaN")
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines while a
+// scraper renders expositions — the race-detector exercise the live node
+// depends on (handlers write while /sweb/metrics reads).
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "", Labels{"w": "shared"})
+			g := r.Gauge("conc_gauge", "", nil)
+			h := r.Histogram("conc_seconds", "", nil, []float64{0.5, 1})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%3) / 2)
+				// Dynamic label churn from the hot path, like the live
+				// redirect-target counters.
+				r.Counter("conc_dyn_total", "", Labels{"k": string(rune('a' + i%4))}).Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WriteText(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := r.Counter("conc_total", "", Labels{"w": "shared"}).Value(); got != workers*perWorker {
+		t.Fatalf("counter = %v, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("conc_seconds", "", nil, nil)
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	var total float64
+	for _, k := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("conc_dyn_total", "", Labels{"k": k}).Value()
+	}
+	if total != workers*perWorker {
+		t.Fatalf("dynamic counters sum = %v", total)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, in := range []string{
+		"name{unterminated 1",
+		"name{k=unquoted} 1",
+		`name{k="v} 1`,
+		"justname",
+		"name notanumber",
+		"name 1 2 3",
+	} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText(%q) accepted", in)
+		}
+	}
+}

@@ -12,12 +12,59 @@ import (
 	"strings"
 )
 
-// Summary accumulates a stream of float64 observations.
+// DefaultSummaryCap bounds the retained sample: simulator runs sit far
+// below it (their quantiles stay exact), while an unbounded live feed
+// degrades to a uniform reservoir instead of growing without limit.
+const DefaultSummaryCap = 1 << 17
+
+// Summary accumulates a stream of float64 observations. Count, mean,
+// variance, min, and max are always exact; quantiles are exact until the
+// retained sample reaches the cap, then estimated from a uniform
+// reservoir (Vitter's algorithm R, deterministic seed).
 type Summary struct {
 	n        int64
 	mean, m2 float64
 	min, max float64
-	values   []float64 // kept for exact quantiles; runs are bounded
+	capN     int
+	values   []float64
+	rng      uint64
+}
+
+// SetCap overrides the retained-sample bound; n <= 0 restores
+// DefaultSummaryCap. It must be called before the first Add — switching
+// mid-stream would bias the reservoir.
+func (s *Summary) SetCap(n int) {
+	if s.n > 0 {
+		panic("stats: SetCap after Add")
+	}
+	if n <= 0 {
+		n = DefaultSummaryCap
+	}
+	s.capN = n
+}
+
+func (s *Summary) capacity() int {
+	if s.capN == 0 {
+		return DefaultSummaryCap
+	}
+	return s.capN
+}
+
+// Exact reports whether every observation is still retained, i.e. the
+// quantiles are exact rather than reservoir estimates.
+func (s *Summary) Exact() bool { return int64(len(s.values)) == s.n }
+
+// nextRand steps a per-summary xorshift64. A fixed seed keeps runs
+// reproducible — the reservoir is a measurement tool, not a source of
+// experiment randomness.
+func (s *Summary) nextRand() uint64 {
+	if s.rng == 0 {
+		s.rng = 0x9E3779B97F4A7C15
+	}
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return s.rng
 }
 
 // Add records one observation.
@@ -36,7 +83,15 @@ func (s *Summary) Add(x float64) {
 	d := x - s.mean
 	s.mean += d / float64(s.n)
 	s.m2 += d * (x - s.mean)
-	s.values = append(s.values, x)
+	if len(s.values) < s.capacity() {
+		s.values = append(s.values, x)
+		return
+	}
+	// Algorithm R: the i-th observation replaces a random slot with
+	// probability cap/i, keeping the sample uniform over the stream.
+	if j := s.nextRand() % uint64(s.n); j < uint64(len(s.values)) {
+		s.values[j] = x
+	}
 }
 
 // N returns the observation count.
@@ -91,12 +146,16 @@ func (s *Summary) Quantile(q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Values returns a copy of the raw observations in insertion order.
+// Values returns a copy of the retained observations (all of them while
+// Exact; a uniform sample beyond the cap), in insertion order until the
+// reservoir starts replacing slots.
 func (s *Summary) Values() []float64 {
 	return append([]float64(nil), s.values...)
 }
 
-// Merge folds other into s.
+// Merge folds other into s by re-adding its retained values. Exact for
+// bounded (simulator) summaries; once other has overflowed its cap the
+// merged counts cover the sample only.
 func (s *Summary) Merge(other *Summary) {
 	for _, v := range other.values {
 		s.Add(v)

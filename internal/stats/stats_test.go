@@ -286,3 +286,74 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("quoted row = %q", lines[2])
 	}
 }
+
+func TestSummaryReservoirBound(t *testing.T) {
+	var s Summary
+	s.SetCap(100)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s.Add(float64(i))
+	}
+	if s.N() != n {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Exact() {
+		t.Fatal("overflowed summary still claims exact quantiles")
+	}
+	if got := len(s.Values()); got != 100 {
+		t.Fatalf("retained %d values, want 100", got)
+	}
+	// Moments and extremes stay exact regardless of the reservoir.
+	if s.Min() != 0 || s.Max() != n-1 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Mean()-(n-1)/2.0) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// The estimated median must land near the true one (wide tolerance:
+	// a 100-point reservoir has real sampling error).
+	if med := s.Quantile(0.5); med < n/5 || med > 4*n/5 {
+		t.Fatalf("median estimate = %v", med)
+	}
+	if s.Quantile(0) != 0 || s.Quantile(1) != n-1 {
+		t.Fatal("extreme quantiles no longer exact")
+	}
+}
+
+func TestSummaryReservoirDeterministic(t *testing.T) {
+	run := func() float64 {
+		var s Summary
+		s.SetCap(32)
+		for i := 0; i < 5000; i++ {
+			s.Add(float64(i % 977))
+		}
+		return s.Quantile(0.9)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("reservoir not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSummaryExactUnderCap(t *testing.T) {
+	var s Summary
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(999 - i))
+	}
+	if !s.Exact() {
+		t.Fatal("bounded run lost exactness")
+	}
+	if got := s.Quantile(0.5); math.Abs(got-499.5) > 1e-9 {
+		t.Fatalf("exact median = %v", got)
+	}
+}
+
+func TestSummarySetCapPanicsAfterAdd(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCap after Add did not panic")
+		}
+	}()
+	s.SetCap(10)
+}
