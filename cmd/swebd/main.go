@@ -29,6 +29,7 @@ import (
 	"sweb/internal/httpd"
 	"sweb/internal/oracle"
 	"sweb/internal/storage"
+	"sweb/internal/trace"
 )
 
 func main() {
@@ -57,6 +58,8 @@ func run() error {
 	loaddTimeout := flag.Duration("loadd-timeout", 8*time.Second, "peer broadcast silence before it is considered unavailable")
 	metricsOn := flag.Bool("metrics", true, "serve /sweb/status and /sweb/metrics on the HTTP listener")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty disables)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) JSON of this node's spans here on shutdown (enables tracing)")
+	traceLimit := flag.Int("trace-limit", 0, "trace event capture cap (0: default 1M; only with -trace-out)")
 	flag.Parse()
 
 	if *docroot == "" || *manifestPath == "" {
@@ -121,6 +124,11 @@ func run() error {
 			return err
 		}
 	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(*traceLimit)
+		cfg.Trace = rec
+	}
 	var logFile *os.File
 	if *logPath != "" {
 		logFile, err = os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -160,7 +168,28 @@ func run() error {
 	st := srv.Stats()
 	fmt.Printf("swebd: served=%d redirected=%d refused=%d internal=%d bytes=%d\n",
 		st.Served, st.Redirected, st.Refused, st.InternalFetch, st.BytesOut)
+	if rec != nil {
+		if err := writeChromeTrace(*traceOut, srv, rec); err != nil {
+			return err
+		}
+		fmt.Printf("swebd: wrote %d trace events to %s (dropped %d); load it at ui.perfetto.dev\n",
+			rec.Len(), *traceOut, rec.Dropped())
+	}
 	return nil
+}
+
+// writeChromeTrace exports this node's recorded spans. A single node sees
+// only its own half of redirected requests; merge several nodes'
+// /sweb/trace dumps with trace.Collector for the stitched picture.
+func writeChromeTrace(path string, srv *httpd.Server, rec *trace.Recorder) error {
+	col := trace.NewCollector()
+	col.Add(float64(srv.Epoch().UnixNano())/1e9, rec.Events())
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.ExportChrome(f, col.Spans())
 }
 
 // parsePeers parses "0=host:port/host:port,1=...".

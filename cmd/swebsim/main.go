@@ -13,11 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 
 	"sweb/internal/experiments"
+	"sweb/internal/simsrv"
 	"sweb/internal/stats"
+	"sweb/internal/storage"
+	"sweb/internal/trace"
+	"sweb/internal/workload"
 )
 
 func main() {
@@ -25,7 +30,19 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter durations and search limits")
 	seed := flag.Int64("seed", 1, "random seed")
 	format := flag.String("format", "text", "output format: text, md, csv")
+	traceOut := flag.String("trace-out", "", "also run a small traced Meiko burst and write its Chrome trace-event (Perfetto) JSON here")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := exportDemoTrace(*traceOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "swebsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote simulated trace to %s; load it at ui.perfetto.dev\n", *traceOut)
+		if *table == "" {
+			return
+		}
+	}
 
 	o := experiments.Options{Quick: *quick, Seed: *seed}
 	runners := map[string]func(experiments.Options) *stats.Table{
@@ -59,6 +76,9 @@ func main() {
 	if *table == "all" {
 		which = order
 	}
+	if *table == "" {
+		which = nil
+	}
 	render := func(t *stats.Table) string { return t.String() }
 	switch *format {
 	case "text":
@@ -78,4 +98,36 @@ func main() {
 		}
 		fmt.Println(render(run(o)))
 	}
+}
+
+// exportDemoTrace runs a short traced Meiko burst — small enough to open
+// comfortably in the Perfetto UI, busy enough to show 302 hops as flow
+// arrows between node tracks — and writes the Chrome trace-event JSON.
+func exportDemoTrace(path string, seed int64) error {
+	const nodes = 4
+	st := storage.NewStore(nodes)
+	paths := storage.UniformSet(st, 16, 64<<10)
+	rec := trace.NewRecorder(0)
+	cfg := simsrv.MeikoConfig(nodes, st)
+	cfg.Seed = seed
+	cfg.Trace = rec
+	cl, err := simsrv.New(cfg)
+	if err != nil {
+		return err
+	}
+	burst := workload.Burst{RPS: 8, DurationSeconds: 5, Jitter: true}
+	rng := rand.New(rand.NewSource(seed))
+	arrivals, err := burst.Generate(workload.UniformPicker(paths), nil, rng)
+	if err != nil {
+		return err
+	}
+	cl.RunSchedule(arrivals)
+	col := trace.NewCollector()
+	col.Add(0, rec.Events()) // sim time is already one shared clock
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.ExportChrome(f, col.Spans())
 }

@@ -11,6 +11,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"sweb"
 	"sweb/internal/httpd"
@@ -30,6 +31,11 @@ func main() {
 	paths := sweb.UniformSet(st, 12, 32<<10)
 	var logBuf bytes.Buffer
 	logger := sweb.NewAccessLogger(&logBuf)
+	// One shared recorder and epoch across the nodes: every request's
+	// lifecycle — 302 hops included — lands in a single stream, exported
+	// as a Perfetto trace after the run.
+	rec := sweb.NewTraceRecorder(0)
+	epoch := time.Now()
 
 	if err := live.Materialize(st, dir, 1); err != nil {
 		log.Fatal(err)
@@ -42,6 +48,8 @@ func main() {
 			Store:   st,
 			// One shared CLF log, as a site with a log host would run it.
 			AccessLog: logger,
+			Trace:     rec,
+			Epoch:     epoch,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -70,6 +78,23 @@ func main() {
 	if err := logger.Flush(); err != nil {
 		log.Fatal(err)
 	}
+
+	// Export the live run as a Chrome trace: the shared recorder is one
+	// stream on one clock, so the collector needs no epoch alignment.
+	col := sweb.NewTraceCollector()
+	col.Add(0, rec.Events())
+	spans := col.Spans()
+	const traceFile = "tracereplay.perfetto.json"
+	tf, err := os.Create(traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sweb.ExportChromeTrace(tf, spans); err != nil {
+		log.Fatal(err)
+	}
+	tf.Close()
+	fmt.Printf("  exported %d spans (%d events) to %s — open it at ui.perfetto.dev\n",
+		len(spans), rec.Len(), traceFile)
 
 	// --- Phase 2: parse the captured Common Log Format trace. ---
 	entries, err := sweb.ParseAccessLog(bytes.NewReader(logBuf.Bytes()))

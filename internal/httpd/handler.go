@@ -25,11 +25,19 @@ import (
 //   - the "swebr" query parameter counts redirects ("any HTTP request is
 //     not allowed to be redirected more than once"); URL redirection has to
 //     carry this in the URL because a 302 cannot set request headers;
+//   - the "swebt" query parameter carries the trace context the same way:
+//     "<trace-id>" or "<trace-id>:<unix-micros>", the timestamp stamped at
+//     the moment the 302 left the redirecting node so the target can
+//     measure t_redirection on the wall clock, without sharing an epoch;
 //   - the X-SWEB-Internal header marks a node-to-node fetch (the NFS
-//     stand-in), which must be served directly, never re-scheduled.
+//     stand-in), which must be served directly, never re-scheduled;
+//   - the X-SWEB-Trace header joins an internal fetch to the originating
+//     request's trace, so the owner's disk read lands in the same span.
 const (
 	redirectParam  = "swebr"
+	traceParam     = "swebt"
 	internalHeader = "X-Sweb-Internal"
+	traceHeader    = "X-Sweb-Trace"
 )
 
 const (
@@ -151,17 +159,34 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	redirects := parseRedirectCount(req.Query)
+	tctx, hopSentMicros, _ := parseTraceContext(req.Query)
 	rec := s.cfg.Trace
 	tid := int64(-1)
 	if !internal {
 		if rec.Enabled() {
-			tid = rec.NewRequest()
-			rec.Record(tid, s.sinceEpoch(t0), trace.EvConnected, s.cfg.ID, "")
+			// Joining an inbound trace context keeps every hop of a
+			// redirected request under one trace id; without one, this
+			// node originates the trace.
+			tid, tctx = rec.Begin(tctx)
+			connDetail := ""
+			if redirects > 0 {
+				connDetail = fmt.Sprintf("hop=%d", redirects)
+			}
+			rec.Record(tid, s.sinceEpoch(t0), trace.EvConnected, s.cfg.ID, connDetail)
 			rec.Record(tid, s.sinceEpoch(tParsed), trace.EvParsed, s.cfg.ID, "path="+req.Path)
 		}
 		s.nm.event(trace.EvConnected)
 		s.nm.event(trace.EvParsed)
 		s.nm.phase("parse", tParsed.Sub(t0).Seconds())
+		if hopSentMicros > 0 {
+			// The 302 carried its send time: the gap to this connection is
+			// the measured t_redirection of the paper's cost model.
+			hop := float64(t0.UnixMicro()-hopSentMicros) / 1e6
+			if hop < 0 {
+				hop = 0
+			}
+			s.nm.phase("redirect_hop", hop)
+		}
 	}
 
 	cgiFn, isCGI := s.cgiFor(req.Path)
@@ -179,8 +204,15 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	// Internal fetches bypass scheduling entirely: we are the NFS server.
+	// When the fetching node sent a trace header, the disk read joins the
+	// originating request's span; otherwise it stays trace-invisible as
+	// the tail of the fetcher's own fetch-nfs phase.
 	if internal {
 		s.internalFetch.Add(1)
+		if id := trace.TraceID(req.Header.Get(traceHeader)); id != "" && rec.Enabled() {
+			jid, _ := rec.Begin(id)
+			rec.Record(jid, s.sinceEpoch(time.Now()), trace.EvFetchLocal, s.cfg.ID, "internal=1")
+		}
 		s.serveLocalFile(conn, req, file)
 		return
 	}
@@ -217,8 +249,11 @@ func (s *Server) handle(conn net.Conn) {
 		if target != s.cfg.ID {
 			if peer, ok := s.peerByID(target); ok {
 				// Phase 3: redirect via a 302 with the bumped URL,
-				// preserving the client's own query parameters.
-				loc := redirectLocation(peer.HTTPAddr, req.Path, req.Query, redirects)
+				// preserving the client's own query parameters and
+				// threading the trace context (stamped with the send
+				// time, so the target measures the hop).
+				loc := redirectLocation(peer.HTTPAddr, req.Path, req.Query, redirects,
+					formatTraceContext(tctx, time.Now().UnixMicro()))
 				h := httpmsg.Header{}
 				h.Set("Location", loc)
 				err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusMovedTemporarily, h,
@@ -276,7 +311,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.nm.event(trace.EvFetchNFS)
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchNFS, s.cfg.ID,
 			fmt.Sprintf("owner=%d", file.Owner))
-		status = s.serveRemoteFile(conn, req, file)
+		status = s.serveRemoteFile(conn, req, file, tctx)
 		s.nm.phase("fetch_nfs", time.Since(tFulfill).Seconds())
 	}
 	done := time.Now()
@@ -340,16 +375,19 @@ func (s *Server) confirmTarget(dec core.Decision) int {
 }
 
 // redirectLocation rebuilds the client's URL pointing at a peer, keeping
-// every original query parameter and replacing only the swebr counter, so
-// `GET /doc?x=1` arrives at the target node still carrying `x=1`.
-func redirectLocation(httpAddr, path, query string, redirects int) string {
+// every original query parameter and replacing only the swebr counter and
+// the swebt trace context, so `GET /doc?x=1` arrives at the target node
+// still carrying `x=1`. traceCtx is the rendered swebt value ("" omits
+// the parameter: tracing is off and no upstream context arrived).
+func redirectLocation(httpAddr, path, query string, redirects int, traceCtx string) string {
 	var b strings.Builder
 	b.WriteString("http://")
 	b.WriteString(httpAddr)
 	b.WriteString(path)
 	sep := byte('?')
 	for _, kv := range strings.Split(query, "&") {
-		if kv == "" || strings.HasPrefix(kv, redirectParam+"=") {
+		if kv == "" || strings.HasPrefix(kv, redirectParam+"=") ||
+			strings.HasPrefix(kv, traceParam+"=") {
 			continue
 		}
 		b.WriteByte(sep)
@@ -358,7 +396,44 @@ func redirectLocation(httpAddr, path, query string, redirects int) string {
 	}
 	b.WriteByte(sep)
 	fmt.Fprintf(&b, "%s=%d", redirectParam, redirects+1)
+	if traceCtx != "" {
+		fmt.Fprintf(&b, "&%s=%s", traceParam, traceCtx)
+	}
 	return b.String()
+}
+
+// formatTraceContext renders the swebt value: the trace id plus the
+// moment the 302 goes out (Unix microseconds). Empty id renders empty —
+// nothing to propagate.
+func formatTraceContext(id trace.TraceID, sentUnixMicros int64) string {
+	if id == "" {
+		return ""
+	}
+	if sentUnixMicros <= 0 {
+		return string(id)
+	}
+	return fmt.Sprintf("%s:%d", id, sentUnixMicros)
+}
+
+// parseTraceContext extracts the swebt trace context from a query string.
+func parseTraceContext(query string) (id trace.TraceID, sentUnixMicros int64, ok bool) {
+	for _, kv := range strings.Split(query, "&") {
+		v, has := strings.CutPrefix(kv, traceParam+"=")
+		if !has {
+			continue
+		}
+		idPart, tsPart, hasTS := strings.Cut(v, ":")
+		if idPart == "" {
+			continue
+		}
+		if hasTS {
+			if n, err := strconv.ParseInt(tsPart, 10, 64); err == nil && n > 0 {
+				sentUnixMicros = n
+			}
+		}
+		return trace.TraceID(idPart), sentUnixMicros, true
+	}
+	return "", 0, false
 }
 
 // retryAfterSeconds renders the configured Retry-After hint (whole
@@ -477,7 +552,7 @@ func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storag
 // failure feeds the loadd health view — and only once the budget is spent
 // does the client see the degradation ladder's last rung: 503 with a
 // Retry-After hint.
-func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file storage.File) int {
+func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file storage.File, tctx trace.TraceID) int {
 	peer, ok := s.peerByID(file.Owner)
 	if !ok {
 		s.errors.Add(1)
@@ -498,7 +573,7 @@ func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file stora
 	}
 	var resp *httpmsg.Response
 	err := pol.Do(s.closed, func(int) error {
-		r, ferr := s.fetchFromPeer(peer, req.Path)
+		r, ferr := s.fetchFromPeer(peer, req.Path, tctx)
 		if ferr != nil {
 			s.table.MarkFailure(file.Owner)
 			return ferr
@@ -521,8 +596,9 @@ func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file stora
 	return s.streamResponse(conn, req, int64(len(resp.Body)), bytes.NewReader(resp.Body), time.Time{})
 }
 
-// fetchFromPeer performs one internal GET against the owning node.
-func (s *Server) fetchFromPeer(peer Peer, path string) (*httpmsg.Response, error) {
+// fetchFromPeer performs one internal GET against the owning node,
+// carrying the originating request's trace so the owner's read joins it.
+func (s *Server) fetchFromPeer(peer Peer, path string, tctx trace.TraceID) (*httpmsg.Response, error) {
 	if delay := s.cfg.DialDelay; delay != nil {
 		if d := delay(); d > 0 {
 			time.Sleep(d)
@@ -536,6 +612,9 @@ func (s *Server) fetchFromPeer(peer Peer, path string) (*httpmsg.Response, error
 	_ = up.SetDeadline(time.Now().Add(connTimeout))
 	ireq := &httpmsg.Request{Method: "GET", Path: path, Header: httpmsg.Header{}}
 	ireq.Header.Set(internalHeader, "1")
+	if tctx != "" {
+		ireq.Header.Set(traceHeader, string(tctx))
+	}
 	if err := ireq.Write(up); err != nil {
 		return nil, fmt.Errorf("write to owner %d: %w", peer.ID, err)
 	}

@@ -173,13 +173,18 @@ func TestRedirectLocationPreservesQuery(t *testing.T) {
 		{"x=1&swebr=3", "http://h:1/doc?x=1&swebr=1"},
 	}
 	for _, c := range cases {
-		if got := redirectLocation("h:1", "/doc", c.query, 0); got != c.want {
+		if got := redirectLocation("h:1", "/doc", c.query, 0, ""); got != c.want {
 			t.Errorf("redirectLocation(%q) = %q want %q", c.query, got, c.want)
 		}
 	}
 	// The counter value tracks the redirect count.
-	if got := redirectLocation("h:1", "/doc", "a=b", 2); got != "http://h:1/doc?a=b&swebr=3" {
+	if got := redirectLocation("h:1", "/doc", "a=b", 2, ""); got != "http://h:1/doc?a=b&swebr=3" {
 		t.Errorf("redirect count: %q", got)
+	}
+	// A trace context rides along after the counter; an inbound one is
+	// replaced, not duplicated.
+	if got := redirectLocation("h:1", "/doc", "a=b&swebt=old:5", 0, "abcd:99"); got != "http://h:1/doc?a=b&swebr=1&swebt=abcd:99" {
+		t.Errorf("trace context: %q", got)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sweb/internal/httpmsg"
 	"sweb/internal/loadd"
 	"sweb/internal/metrics"
+	"sweb/internal/trace"
 )
 
 // introspectPrefix guards the per-node observability endpoints. Like
@@ -28,18 +29,31 @@ type StatusConfig struct {
 	DocRoot             string  `json:"doc_root"`
 }
 
+// TraceStatus summarizes the node's recorder for /sweb/status: whether
+// tracing is on, how much it captured, and — the silent-loss signal — how
+// many events the capture limit discarded.
+type TraceStatus struct {
+	Enabled   bool    `json:"enabled"`
+	Events    int     `json:"events"`
+	Dropped   int64   `json:"dropped"`
+	EpochUnix float64 `json:"epoch_unix"`
+}
+
 // StatusReport is the /sweb/status payload: one node's counters, its view
 // of every peer's health, the recent scheduling decisions with their
-// measured outcomes, and the config shaping them.
+// measured outcomes, the gossip time-series behind those decisions, and
+// the config shaping them.
 type StatusReport struct {
-	Node          int                `json:"node"`
-	Addr          string             `json:"addr"`
-	UDPAddr       string             `json:"udp_addr"`
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Stats         Stats              `json:"stats"`
-	Peers         []loadd.PeerHealth `json:"peers"`
-	Decisions     []DecisionAudit    `json:"decisions"`
-	Config        StatusConfig       `json:"config"`
+	Node          int                 `json:"node"`
+	Addr          string              `json:"addr"`
+	UDPAddr       string              `json:"udp_addr"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Stats         Stats               `json:"stats"`
+	Trace         TraceStatus         `json:"trace"`
+	Peers         []loadd.PeerHealth  `json:"peers"`
+	Gossip        []loadd.PeerHistory `json:"gossip,omitempty"`
+	Decisions     []DecisionAudit     `json:"decisions"`
+	Config        StatusConfig        `json:"config"`
 }
 
 // StatusReport snapshots the node for /sweb/status (exported for the
@@ -51,8 +65,15 @@ func (s *Server) StatusReport() StatusReport {
 		UDPAddr:       s.UDPAddr(),
 		UptimeSeconds: time.Since(s.epoch).Seconds(),
 		Stats:         s.Stats(),
-		Peers:         s.table.Health(s.nowSec()),
-		Decisions:     s.audit.snapshot(),
+		Trace: TraceStatus{
+			Enabled:   s.cfg.Trace.Enabled(),
+			Events:    s.cfg.Trace.Len(),
+			Dropped:   s.cfg.Trace.Dropped(),
+			EpochUnix: float64(s.epoch.UnixNano()) / 1e9,
+		},
+		Peers:     s.table.Health(s.nowSec()),
+		Gossip:    s.table.HistorySnapshot(),
+		Decisions: s.audit.snapshot(),
 		Config: StatusConfig{
 			Policy:              s.cfg.Policy.Name(),
 			MaxConcurrent:       s.cfg.MaxConcurrent,
@@ -68,6 +89,29 @@ func (s *Server) StatusReport() StatusReport {
 // Registry exposes the node's metric registry (tests, embedding).
 func (s *Server) Registry() *metrics.Registry { return s.nm.reg }
 
+// TraceDump is the /sweb/trace payload: one node's raw event stream plus
+// the epoch that anchors its relative timestamps to the wall clock, which
+// is exactly what trace.Collector.Add needs to stitch streams cross-node.
+type TraceDump struct {
+	Node      int           `json:"node"`
+	Enabled   bool          `json:"enabled"`
+	EpochUnix float64       `json:"epoch_unix"`
+	Dropped   int64         `json:"dropped"`
+	Events    []trace.Event `json:"events"`
+}
+
+// TraceDump snapshots the recorder for /sweb/trace (exported for the
+// in-process scraper and tests).
+func (s *Server) TraceDump() TraceDump {
+	return TraceDump{
+		Node:      s.cfg.ID,
+		Enabled:   s.cfg.Trace.Enabled(),
+		EpochUnix: float64(s.epoch.UnixNano()) / 1e9,
+		Dropped:   s.cfg.Trace.Dropped(),
+		Events:    s.cfg.Trace.Events(),
+	}
+}
+
 // serveIntrospection answers /sweb/status and /sweb/metrics on the main
 // listener and returns the status written.
 func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
@@ -76,6 +120,15 @@ func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
 	switch req.Path {
 	case "/sweb/status":
 		b, err := json.MarshalIndent(s.StatusReport(), "", "  ")
+		if err != nil {
+			code := httpmsg.StatusInternalServerError
+			_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(conn, req, code, -1)
+			return code
+		}
+		body, ctype = append(b, '\n'), "application/json"
+	case "/sweb/trace":
+		b, err := json.Marshal(s.TraceDump())
 		if err != nil {
 			code := httpmsg.StatusInternalServerError
 			_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, err.Error()))

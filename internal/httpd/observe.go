@@ -26,7 +26,26 @@ const (
 	mSchedActual    = "sweb_sched_actual_seconds_total"
 	mSchedCompared  = "sweb_sched_compared_total"
 	mSchedAbsErr    = "sweb_sched_abs_error_seconds"
+	// Gossip telemetry: the scheduler's decision inputs as observables.
+	// Age is per-peer broadcast staleness right now; interval is the
+	// distribution of gaps between receptions; advertised is the load
+	// vector a peer last claimed; drift is |now - last advertised| for
+	// this node's own numbers, the error peers act on between broadcasts.
+	mGossipAge        = "sweb_loadd_broadcast_age_seconds"
+	mGossipInterval   = "sweb_loadd_broadcast_interval_seconds"
+	mGossipAdvertised = "sweb_loadd_advertised_load"
+	mGossipDrift      = "sweb_loadd_self_drift"
+	mTraceDropped     = "sweb_trace_dropped_total"
 )
+
+// gossipIntervalBuckets cover a healthy 2-3 s gossip period up through the
+// 8 s default timeout and well past it, so a dying peer's growing gaps are
+// visible in the histogram, not just clipped into +Inf.
+var gossipIntervalBuckets = []float64{0.5, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64}
+
+// gossipDriftBuckets are in load units (runnable jobs / active transfers),
+// not seconds.
+var gossipDriftBuckets = []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
 
 // nodeMetrics caches the fixed-label handles the request path touches on
 // every request; dynamic-label instances (event kinds, drop causes,
@@ -57,7 +76,53 @@ func newNodeMetrics(s *Server) *nodeMetrics {
 		func() float64 { return float64(s.netActive.Load()) })
 	reg.CounterFunc("sweb_bytes_out_total", "response body bytes written", nil,
 		func() float64 { return float64(s.bytesOut.Load()) })
+	if rec := s.cfg.Trace; rec.Enabled() {
+		reg.CounterFunc(mTraceDropped, "trace events discarded at the capture limit", nil,
+			func() float64 { return float64(rec.Dropped()) })
+	}
 	return m
+}
+
+// gossipGauges registers the live views of one peer's gossip state:
+// staleness of its last broadcast and the load vector it advertised.
+// Values are read from the loadd table at exposition time; a peer with no
+// sample yet reads as -1 age and zero loads.
+func (m *nodeMetrics) gossipGauges(s *Server, peer int) {
+	lbl := metrics.Labels{"peer": strconv.Itoa(peer)}
+	m.reg.GaugeFunc(mGossipAge, "seconds since the peer's last load broadcast (-1: none yet)",
+		lbl, func() float64 { return s.table.Age(peer, s.nowSec()) })
+	for _, facet := range []string{"cpu", "disk", "net"} {
+		facet := facet
+		flbl := metrics.Labels{"peer": strconv.Itoa(peer), "facet": facet}
+		m.reg.GaugeFunc(mGossipAdvertised, "load the peer last advertised, by facet",
+			flbl, func() float64 {
+				smp, ok := s.table.Advertised(peer)
+				if !ok {
+					return 0
+				}
+				switch facet {
+				case "cpu":
+					return smp.CPULoad
+				case "disk":
+					return smp.DiskLoad
+				default:
+					return smp.NetLoad
+				}
+			})
+	}
+}
+
+func (m *nodeMetrics) gossipInterval(peer int, seconds float64) {
+	m.reg.Histogram(mGossipInterval, "gap between consecutive broadcasts received, by peer",
+		metrics.Labels{"peer": strconv.Itoa(peer)}, gossipIntervalBuckets).Observe(seconds)
+}
+
+func (m *nodeMetrics) gossipDrift(facet string, delta float64) {
+	if delta < 0 {
+		delta = -delta
+	}
+	m.reg.Histogram(mGossipDrift, "|load now - load last advertised| at broadcast time, by facet",
+		metrics.Labels{"facet": facet}, gossipDriftBuckets).Observe(delta)
 }
 
 func (m *nodeMetrics) event(kind trace.Kind) {

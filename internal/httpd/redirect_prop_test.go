@@ -1,0 +1,123 @@
+package httpd
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sweb/internal/trace"
+)
+
+// randQuery builds a random client query string: 0..5 ordinary parameters,
+// sometimes with stale swebr/swebt entries mixed in (as a second hop sees).
+func randQuery(rng *rand.Rand) (query string, ordinary []string) {
+	var parts []string
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		kv := fmt.Sprintf("k%d=v%d", rng.Intn(10), rng.Intn(100))
+		parts = append(parts, kv)
+		ordinary = append(ordinary, kv)
+	}
+	if rng.Intn(2) == 0 {
+		parts = append(parts, fmt.Sprintf("swebr=%d", rng.Intn(4)))
+	}
+	if rng.Intn(2) == 0 {
+		parts = append(parts, fmt.Sprintf("swebt=stale%d:%d", rng.Intn(100), rng.Int63n(1e12)))
+	}
+	rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	// The shuffle must not reorder the ordinary params relative to each
+	// other as far as the property cares, so recollect them in output order.
+	ordinary = ordinary[:0]
+	for _, kv := range parts {
+		if !strings.HasPrefix(kv, "swebr=") && !strings.HasPrefix(kv, "swebt=") {
+			ordinary = append(ordinary, kv)
+		}
+	}
+	return strings.Join(parts, "&"), ordinary
+}
+
+// TestRedirectLocationProperty: for random queries, hop counts, and trace
+// contexts, redirectLocation must preserve every ordinary parameter in
+// order, carry exactly one swebr and (when tracing) one swebt, and both
+// must round-trip through parseRedirectCount / parseTraceContext
+// uncorrupted — including across a second hop fed its own output.
+func TestRedirectLocationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		query, ordinary := randQuery(rng)
+		redirects := rng.Intn(3)
+		var tctx string
+		wantID := trace.TraceID("")
+		wantMicros := int64(0)
+		if rng.Intn(4) > 0 {
+			wantID = trace.TraceID(fmt.Sprintf("t%08x", rng.Uint32()))
+			if rng.Intn(2) == 0 {
+				wantMicros = 1 + rng.Int63n(1e15)
+			}
+			tctx = formatTraceContext(wantID, wantMicros)
+		}
+
+		loc := redirectLocation("peer:80", "/doc", query, redirects, tctx)
+		rest, ok := strings.CutPrefix(loc, "http://peer:80/doc?")
+		if !ok {
+			t.Fatalf("case %d: malformed location %q", i, loc)
+		}
+		checkThreading(t, i, rest, ordinary, redirects+1, wantID, wantMicros)
+
+		// Second hop: the target node rebuilds the URL from the query it
+		// received; the counter bumps again, the context is re-stamped.
+		micros2 := int64(0)
+		if wantID != "" {
+			micros2 = 1 + rng.Int63n(1e15)
+		}
+		loc2 := redirectLocation("other:81", "/doc", rest, parseRedirectCount(rest),
+			formatTraceContext(wantID, micros2))
+		rest2, ok := strings.CutPrefix(loc2, "http://other:81/doc?")
+		if !ok {
+			t.Fatalf("case %d: malformed second-hop location %q", i, loc2)
+		}
+		checkThreading(t, i, rest2, ordinary, redirects+2, wantID, micros2)
+	}
+}
+
+// checkThreading asserts the threading invariants on one rebuilt query.
+func checkThreading(t *testing.T, i int, query string, ordinary []string,
+	wantRedirects int, wantID trace.TraceID, wantMicros int64) {
+	t.Helper()
+	var gotOrdinary []string
+	swebr, swebt := 0, 0
+	for _, kv := range strings.Split(query, "&") {
+		switch {
+		case strings.HasPrefix(kv, "swebr="):
+			swebr++
+		case strings.HasPrefix(kv, "swebt="):
+			swebt++
+		default:
+			gotOrdinary = append(gotOrdinary, kv)
+		}
+	}
+	if fmt.Sprint(gotOrdinary) != fmt.Sprint(ordinary) {
+		t.Fatalf("case %d: ordinary params corrupted: got %v want %v (query %q)",
+			i, gotOrdinary, ordinary, query)
+	}
+	if swebr != 1 {
+		t.Fatalf("case %d: %d swebr params in %q, want exactly 1", i, swebr, query)
+	}
+	if got := parseRedirectCount(query); got != wantRedirects {
+		t.Fatalf("case %d: redirect count %d, want %d (query %q)", i, got, wantRedirects, query)
+	}
+	if wantID == "" {
+		if swebt != 0 {
+			t.Fatalf("case %d: untraced redirect still carries swebt: %q", i, query)
+		}
+		return
+	}
+	if swebt != 1 {
+		t.Fatalf("case %d: %d swebt params in %q, want exactly 1", i, swebt, query)
+	}
+	id, micros, ok := parseTraceContext(query)
+	if !ok || id != wantID || micros != wantMicros {
+		t.Fatalf("case %d: trace context round-trip got (%q, %d, %v), want (%q, %d)",
+			i, id, micros, ok, wantID, wantMicros)
+	}
+}

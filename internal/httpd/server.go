@@ -101,8 +101,13 @@ type Config struct {
 	// Trace, when non-nil, receives the same lifecycle events the
 	// simulator emits (connected → parsed → analyzed → redirected /
 	// fetch-local / fetch-nfs / cgi → sent), timed in seconds since the
-	// server's start. A nil recorder costs nothing on the hot path.
+	// server's epoch. A nil recorder costs nothing on the hot path.
 	Trace *trace.Recorder
+	// Epoch is the zero point of the node's trace clock. Zero means "now"
+	// (New's call time); a cluster harness sets one shared instant so all
+	// nodes' event streams stitch without alignment, and the collector
+	// aligns independently-started nodes via their advertised epochs.
+	Epoch time.Time
 	// DisableIntrospection turns off the /sweb/status and /sweb/metrics
 	// endpoints (served by default on the main listener).
 	DisableIntrospection bool
@@ -218,6 +223,12 @@ type Server struct {
 	nm    *nodeMetrics
 	audit *auditLog
 
+	// lastAdvertised is the previous broadcast's sample, for the
+	// advertised-vs-now drift histograms. Touched only by the broadcast
+	// goroutine.
+	lastAdvertised     loadd.Sample
+	haveLastAdvertised bool
+
 	cgiMu sync.RWMutex
 	cgi   map[string]CGIFunc
 
@@ -247,12 +258,16 @@ func New(cfg Config) (*Server, error) {
 		ln.Close()
 		return nil, fmt.Errorf("httpd: udp listen %s: %w", cfg.UDPAddr, err)
 	}
+	epoch := cfg.Epoch
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
 	s := &Server{
 		cfg:        cfg,
 		ln:         ln,
 		udp:        udp,
 		table:      newHealthTable(cfg),
-		epoch:      time.Now(),
+		epoch:      epoch,
 		peers:      make(map[int]Peer),
 		cgi:        make(map[string]CGIFunc),
 		closed:     make(chan struct{}),
@@ -280,12 +295,25 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // UDPAddr returns the bound loadd address.
 func (s *Server) UDPAddr() string { return s.udp.LocalAddr().String() }
 
-// SetPeers installs the cluster membership (including this node).
+// Epoch returns the zero point of the node's trace clock.
+func (s *Server) Epoch() time.Time { return s.epoch }
+
+// SetPeers installs the cluster membership (including this node) and
+// registers the per-peer gossip gauges — the scheduler's decision inputs
+// (broadcast staleness, advertised loads) become scrapeable the moment the
+// membership is known. The registry dedups, so re-installing peers after a
+// membership change is safe.
 func (s *Server) SetPeers(peers []Peer) {
 	s.peersMu.Lock()
-	defer s.peersMu.Unlock()
 	for _, p := range peers {
 		s.peers[p.ID] = p
+	}
+	s.peersMu.Unlock()
+	for _, p := range peers {
+		if p.ID == s.cfg.ID {
+			continue
+		}
+		s.nm.gossipGauges(s, p.ID)
 	}
 }
 
@@ -403,6 +431,15 @@ func (s *Server) broadcastOnce() {
 	if err := s.table.Update(smp, s.nowSec()); err != nil {
 		return
 	}
+	// Self-drift: how far the load moved since the numbers last advertised
+	// to the cluster — the error every peer's view of this node carries
+	// for up to a gossip period.
+	if s.haveLastAdvertised {
+		s.nm.gossipDrift("cpu", smp.CPULoad-s.lastAdvertised.CPULoad)
+		s.nm.gossipDrift("disk", smp.DiskLoad-s.lastAdvertised.DiskLoad)
+		s.nm.gossipDrift("net", smp.NetLoad-s.lastAdvertised.NetLoad)
+	}
+	s.lastAdvertised, s.haveLastAdvertised = smp, true
 	var buf [loadd.MaxWireSize]byte
 	n, err := loadd.EncodeSample(buf[:], smp)
 	if err != nil {
@@ -456,8 +493,15 @@ func (s *Server) listenLoop() {
 		if smp.Node == s.cfg.ID {
 			continue // ignore echoes
 		}
-		if s.table.Update(smp, s.nowSec()) == nil {
+		now := s.nowSec()
+		prevAge := s.table.Age(smp.Node, now)
+		if s.table.Update(smp, now) == nil {
 			s.samplesHeard.Add(1)
+			if prevAge >= 0 {
+				// Gap between consecutive receptions from this peer — the
+				// distribution the staleness gauge samples from.
+				s.nm.gossipInterval(smp.Node, prevAge)
+			}
 		}
 	}
 }

@@ -66,6 +66,11 @@ type Options struct {
 	// lifecycle events land in one recorder, aggregable by the same
 	// renderers the simulator uses.
 	Trace *trace.Recorder
+	// NodeTraces, when > 0, gives every node its own recorder capped at
+	// that many events (overriding Trace) — the distributed configuration,
+	// where each node captures only its own view and the streams are
+	// stitched back together by scraping /sweb/trace into a Collector.
+	NodeTraces int
 	// DisableIntrospection turns off /sweb/status and /sweb/metrics on
 	// every node.
 	DisableIntrospection bool
@@ -78,6 +83,12 @@ type Cluster struct {
 	Servers  []*httpd.Server
 	Resolver *dnsrr.Resolver
 	store    *storage.Store
+	// epoch is the shared zero point of every node's trace clock.
+	epoch time.Time
+	// cfgs holds each node's config with its *bound* addresses, so a
+	// killed node can be restarted in place; nil for Assemble clusters.
+	cfgs  []httpd.Config
+	peers []httpd.Peer
 }
 
 // Start materializes the docroots, binds and starts every node, and wires
@@ -114,8 +125,12 @@ func Start(o Options) (*Cluster, error) {
 		params = core.DefaultParams()
 	}
 
-	cl := &Cluster{store: o.Store}
+	cl := &Cluster{store: o.Store, epoch: time.Now()}
 	for i := 0; i < o.Nodes; i++ {
+		rec := o.Trace
+		if o.NodeTraces > 0 {
+			rec = trace.NewRecorder(o.NodeTraces)
+		}
 		cfg := httpd.Config{
 			ID:             i,
 			DocRoot:        nodeDocRoot(o.BaseDir, i),
@@ -132,7 +147,8 @@ func Start(o Options) (*Cluster, error) {
 			FailureLimit:   o.FailureLimit,
 			DropBroadcast:  o.Faults.dropFn(int64(i)),
 			DialDelay:      o.Faults.delayFn(),
-			Trace:          o.Trace,
+			Trace:          rec,
+			Epoch:          cl.epoch,
 
 			DisableIntrospection: o.DisableIntrospection,
 		}
@@ -142,6 +158,11 @@ func Start(o Options) (*Cluster, error) {
 			return nil, err
 		}
 		cl.Servers = append(cl.Servers, srv)
+		// Keep the bound addresses so Restart can re-create the node in
+		// place and peers keep reaching it.
+		cfg.Addr = srv.Addr()
+		cfg.UDPAddr = srv.UDPAddr()
+		cl.cfgs = append(cl.cfgs, cfg)
 	}
 	peers := make([]httpd.Peer, 0, o.Nodes)
 	ids := make([]int, 0, o.Nodes)
@@ -149,6 +170,7 @@ func Start(o Options) (*Cluster, error) {
 		peers = append(peers, httpd.Peer{ID: i, HTTPAddr: srv.Addr(), UDPAddr: srv.UDPAddr()})
 		ids = append(ids, i)
 	}
+	cl.peers = peers
 	for _, srv := range cl.Servers {
 		srv.SetPeers(peers)
 		srv.Start()
@@ -177,8 +199,12 @@ func Assemble(servers []*httpd.Server, store *storage.Store) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{Servers: servers, Resolver: resolver, store: store}, nil
+	return &Cluster{Servers: servers, Resolver: resolver, store: store, epoch: time.Now()}, nil
 }
+
+// Epoch returns the cluster's shared trace-clock zero (for Assemble
+// clusters, the assembly time — the servers keep their own epochs).
+func (c *Cluster) Epoch() time.Time { return c.epoch }
 
 // Close stops every node.
 func (c *Cluster) Close() {
@@ -198,6 +224,28 @@ func (c *Cluster) Kill(i int) error {
 		return fmt.Errorf("live: no node %d", i)
 	}
 	c.Servers[i].Close()
+	return nil
+}
+
+// Restart brings a killed node back on its original HTTP and loadd
+// addresses with a fresh server, re-wiring the peer tables. The node keeps
+// its recorder: timestamps are relative to the shared cluster epoch, so
+// the stream stays consistent across the outage. The chaos tests use it to
+// watch staleness metrics recover.
+func (c *Cluster) Restart(i int) error {
+	if i < 0 || i >= len(c.Servers) {
+		return fmt.Errorf("live: no node %d", i)
+	}
+	if c.cfgs == nil {
+		return fmt.Errorf("live: cluster was assembled from external servers; restart is not supported")
+	}
+	srv, err := httpd.New(c.cfgs[i])
+	if err != nil {
+		return err
+	}
+	c.Servers[i] = srv
+	srv.SetPeers(c.peers)
+	srv.Start()
 	return nil
 }
 
@@ -258,6 +306,18 @@ type Client struct {
 	maxBytes int64
 	attempts int
 	backoff  time.Duration
+	rec      *trace.Recorder
+}
+
+// SetTrace makes the client originate traces: every Get mints a trace id,
+// records the client-side events (issued, resolved, delivered/timed-out)
+// on the cluster's epoch clock, and sends the id along as swebt so the
+// serving nodes join the same span. The span then covers the full
+// client-observed latency, redirect round-trip included.
+func (cl *Client) SetTrace(rec *trace.Recorder) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.rec = rec
 }
 
 // NewClient builds a client for the cluster. The default failover budget
@@ -283,14 +343,24 @@ func (cl *Client) SetRetry(attempts int, backoff time.Duration) {
 func (cl *Client) Get(path string) (*Result, error) {
 	cl.mu.Lock()
 	pol := retry.Policy{MaxAttempts: cl.attempts, BaseDelay: cl.backoff, MaxDelay: time.Second}
+	rec := cl.rec
 	cl.mu.Unlock()
 	start := time.Now()
+	tid := int64(-1)
+	if rec.Enabled() {
+		var tctx trace.TraceID
+		tid, tctx = rec.Begin("")
+		rec.Record(tid, cl.sinceEpoch(start), trace.EvIssued, -1, "path="+path)
+		path = appendQueryParam(path, traceQueryParam+"="+string(tctx))
+	}
 	var res *Result
+	resolvedNode, resolvedAt := -1, time.Time{}
 	err := pol.Do(nil, func(int) error {
 		node, err := cl.cluster.Resolver.Resolve("", float64(time.Now().UnixNano())/1e9)
 		if err != nil {
 			return err
 		}
+		resolvedNode, resolvedAt = node, time.Now()
 		r, err := cl.getVia(cl.cluster.Servers[node].Addr(), path, start)
 		if err != nil {
 			return err
@@ -299,9 +369,30 @@ func (cl *Client) Get(path string) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		rec.Record(tid, cl.sinceEpoch(time.Now()), trace.EvTimedOut, -1, err.Error())
 		return nil, err
 	}
+	rec.Record(tid, cl.sinceEpoch(resolvedAt), trace.EvResolved, resolvedNode, "")
+	rec.Record(tid, cl.sinceEpoch(time.Now()), trace.EvDelivered, -1,
+		fmt.Sprintf("status=%d", res.Status))
 	return res, nil
+}
+
+// traceQueryParam mirrors the httpd swebt parameter name; the client sends
+// a bare trace id (no send timestamp — there is no hop to measure yet).
+const traceQueryParam = "swebt"
+
+// sinceEpoch converts a wall instant to the cluster's shared trace clock.
+func (cl *Client) sinceEpoch(t time.Time) float64 {
+	return t.Sub(cl.cluster.epoch).Seconds()
+}
+
+// appendQueryParam adds one key=value to a path-and-query string.
+func appendQueryParam(pathAndQuery, kv string) string {
+	if strings.Contains(pathAndQuery, "?") {
+		return pathAndQuery + "&" + kv
+	}
+	return pathAndQuery + "?" + kv
 }
 
 // getVia performs one full fetch entering the cluster at addr.

@@ -121,6 +121,8 @@ func TestRemoteFetchThroughNonOwner(t *testing.T) {
 
 func TestFileLocalityRedirectsToOwner(t *testing.T) {
 	cl, _ := startCluster(t, 2, 2, 4096, "fl")
+	// The 302 only happens once node 0 sees node 1 as available.
+	waitKnown(t, []int{0}, cl, 2, 5*time.Second)
 	st := cl.store
 	var pathOwnedBy1 string
 	for _, p := range st.Paths() {
@@ -167,6 +169,7 @@ func TestRedirectCounterPreventsPingPong(t *testing.T) {
 
 func TestClientFollowsRedirectTransparently(t *testing.T) {
 	cl, paths := startCluster(t, 3, 6, 4096, "fl")
+	waitKnown(t, []int{0, 1, 2}, cl, 3, 5*time.Second)
 	client := cl.NewClient()
 	// Fetch the same document repeatedly: the DNS rotation moves across
 	// all three nodes while the owner stays fixed, so two thirds of the
@@ -512,6 +515,8 @@ func TestRedirectPreservesQueryString(t *testing.T) {
 	// Regression: the 302 Location used to be rebuilt as "?swebr=N" only,
 	// so GET /doc?x=1 arrived at the target node stripped of x=1.
 	cl, _ := startCluster(t, 2, 2, 4096, "fl")
+	// The 302 only happens once node 0 sees node 1 as available.
+	waitKnown(t, []int{0}, cl, 2, 5*time.Second)
 	st := cl.store
 	var pathOwnedBy1 string
 	for _, p := range st.Paths() {
@@ -544,6 +549,8 @@ func TestRedirectedCGIKeepsQuery(t *testing.T) {
 	// shape with a static doc carrying an existing swebr param: the
 	// counter must be replaced, never duplicated.
 	cl, _ := startCluster(t, 2, 2, 4096, "fl")
+	// The 302 only happens once node 0 sees node 1 as available.
+	waitKnown(t, []int{0}, cl, 2, 5*time.Second)
 	st := cl.store
 	var pathOwnedBy1 string
 	for _, p := range st.Paths() {

@@ -12,6 +12,7 @@ import (
 	"sweb/internal/httpmsg"
 	"sweb/internal/metrics"
 	"sweb/internal/stats"
+	"sweb/internal/trace"
 )
 
 // scrapeTimeout bounds one introspection fetch; dead nodes fail the dial
@@ -44,6 +45,40 @@ func Metrics(addr string) ([]metrics.Sample, error) {
 		return nil, fmt.Errorf("live: %s/sweb/metrics returned %d", addr, code)
 	}
 	return metrics.ParseText(strings.NewReader(string(body)))
+}
+
+// ScrapeTrace fetches and decodes one node's /sweb/trace dump.
+func ScrapeTrace(addr string) (*httpd.TraceDump, error) {
+	code, _, body, err := fetchOnce(addr, "/sweb/trace", scrapeTimeout, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	if code != httpmsg.StatusOK {
+		return nil, fmt.Errorf("live: %s/sweb/trace returned %d", addr, code)
+	}
+	var dump httpd.TraceDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		return nil, fmt.Errorf("live: %s/sweb/trace: %v", addr, err)
+	}
+	return &dump, nil
+}
+
+// ScrapeTraces pulls every live node's event stream into a Collector —
+// each anchored by the epoch the node advertised — and returns it with the
+// number of nodes that contributed. Dead nodes and nodes with tracing off
+// are skipped.
+func (c *Cluster) ScrapeTraces() (*trace.Collector, int) {
+	col := trace.NewCollector()
+	up := 0
+	for _, srv := range c.Servers {
+		dump, err := ScrapeTrace(srv.Addr())
+		if err != nil || !dump.Enabled {
+			continue
+		}
+		col.Add(dump.EpochUnix, dump.Events)
+		up++
+	}
+	return col, up
 }
 
 // ScrapeMetrics scrapes every node, skipping the dead ones (a killed node
@@ -104,8 +139,10 @@ type ClusterReport struct {
 }
 
 // reportPhases are the phase histogram cells the report tabulates, in
-// lifecycle order.
-var reportPhases = []string{"parse", "analyze", "redirect", "fetch_local", "fetch_nfs", "cgi"}
+// lifecycle order. redirect_hop is the measured t_redirection: the wall
+// time between a 302 leaving one node and the redirected connection
+// arriving at the target.
+var reportPhases = []string{"parse", "analyze", "redirect", "redirect_hop", "fetch_local", "fetch_nfs", "cgi"}
 
 // Report scrapes the cluster and reduces the merged samples to the
 // redirect rate, per-phase latency quantiles, and the predicted-vs-actual

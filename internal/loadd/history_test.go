@@ -1,0 +1,88 @@
+package loadd
+
+import "testing"
+
+func historySample(node int, cpu, sentAt float64) Sample {
+	return Sample{
+		Node: node, CPULoad: cpu, DiskLoad: 2 * cpu, NetLoad: 3 * cpu,
+		CPUOpsPerSec: 1e6, DiskBytesPerSec: 1e6, NetBytesPerSec: 1e6,
+		SentAt: sentAt,
+	}
+}
+
+func TestHistoryRingRecordsAndTrims(t *testing.T) {
+	tb := NewTable(0, 10, 0.3)
+	for i := 0; i < HistoryCap+5; i++ {
+		if err := tb.Update(historySample(1, float64(i), float64(i)), float64(i)+0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := tb.HistorySnapshot()
+	if len(hist) != 1 || hist[0].Node != 1 {
+		t.Fatalf("snapshot %+v, want one peer (node 1)", hist)
+	}
+	recs := hist[0].Records
+	if len(recs) != HistoryCap {
+		t.Fatalf("ring holds %d records, want trimmed to %d", len(recs), HistoryCap)
+	}
+	// Newest last, oldest entries dropped.
+	last := recs[len(recs)-1]
+	if last.CPULoad != float64(HistoryCap+4) || last.ReceivedAt != float64(HistoryCap+4)+0.25 {
+		t.Fatalf("newest record %+v, want the final broadcast", last)
+	}
+	if recs[0].CPULoad != 5 {
+		t.Fatalf("oldest kept record advertises cpu %v, want 5", recs[0].CPULoad)
+	}
+}
+
+func TestHistorySnapshotSortedAndCopied(t *testing.T) {
+	tb := NewTable(0, 10, 0.3)
+	for _, n := range []int{3, 1, 2} {
+		if err := tb.Update(historySample(n, 1, 1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := tb.HistorySnapshot()
+	if len(hist) != 3 || hist[0].Node != 1 || hist[1].Node != 2 || hist[2].Node != 3 {
+		t.Fatalf("snapshot not sorted by node: %+v", hist)
+	}
+	// Mutating the snapshot must not reach back into the table.
+	hist[0].Records[0].CPULoad = 99
+	if again := tb.HistorySnapshot(); again[0].Records[0].CPULoad == 99 {
+		t.Fatal("HistorySnapshot returned the live ring, not a copy")
+	}
+}
+
+func TestAge(t *testing.T) {
+	tb := NewTable(0, 10, 0.3)
+	if got := tb.Age(1, 5); got != -1 {
+		t.Fatalf("Age with no sample = %v, want -1", got)
+	}
+	if err := tb.Update(historySample(1, 1, 1), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Age(1, 5); got != 3 {
+		t.Fatalf("Age = %v, want 3 (received at 2, now 5)", got)
+	}
+}
+
+func TestAdvertisedIsRawSample(t *testing.T) {
+	tb := NewTable(0, 10, 0.3)
+	if _, ok := tb.Advertised(1); ok {
+		t.Fatal("Advertised reported a sample before any broadcast")
+	}
+	if err := tb.Update(historySample(1, 4, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Bumps inflate Snapshot's broker view but must not leak into the
+	// advertised (as-received) sample.
+	tb.Bump(1)
+	tb.Bump(1)
+	s, ok := tb.Advertised(1)
+	if !ok || s.CPULoad != 4 || s.DiskLoad != 8 || s.NetLoad != 12 {
+		t.Fatalf("Advertised = %+v (%v), want the raw broadcast", s, ok)
+	}
+	if got := tb.Snapshot(2, 1)[1].CPULoad; got <= 4 {
+		t.Fatalf("broker view %v should carry the anti-herd bumps", got)
+	}
+}

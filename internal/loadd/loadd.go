@@ -69,10 +69,29 @@ const (
 	MaxHintLen    = 255
 )
 
+// BroadcastRecord is one received broadcast as the gossip telemetry ring
+// keeps it: the advertised load vector plus both clocks — the sender's
+// SentAt (its own epoch) and the receiver's arrival time. Staleness math
+// must use ReceivedAt: the two epochs are not comparable.
+type BroadcastRecord struct {
+	CPULoad    float64 `json:"cpu_load"`
+	DiskLoad   float64 `json:"disk_load"`
+	NetLoad    float64 `json:"net_load"`
+	SentAt     float64 `json:"sent_at"`
+	ReceivedAt float64 `json:"received_at"`
+}
+
+// HistoryCap bounds the per-peer broadcast ring: enough to cover a minute
+// and a half of the paper's 2-3 s gossip period without growing forever.
+const HistoryCap = 32
+
 type entry struct {
 	sample     Sample
 	receivedAt float64
 	haveSample bool
+	// history is the bounded time-series of received broadcasts, newest
+	// last — the scheduler's decision inputs made replayable.
+	history []BroadcastRecord
 	// bumps counts redirects issued to this peer since its last broadcast;
 	// each adds Δ·CPUOpsPerSec-normalized load. Reset on fresh samples.
 	bumps int
@@ -150,7 +169,67 @@ func (t *Table) Update(s Sample, now float64) error {
 	// A fresh broadcast proves the node is alive again; the data path
 	// re-earns trust until the next failure streak.
 	e.failures = 0
+	e.history = append(e.history, BroadcastRecord{
+		CPULoad: s.CPULoad, DiskLoad: s.DiskLoad, NetLoad: s.NetLoad,
+		SentAt: s.SentAt, ReceivedAt: now,
+	})
+	if len(e.history) > HistoryCap {
+		e.history = e.history[len(e.history)-HistoryCap:]
+	}
 	return nil
+}
+
+// Age returns the seconds since node's last broadcast as of now, or -1
+// when no sample has ever arrived. This is the staleness of the
+// scheduler's input for that peer — the quantity the gossip gauges track.
+func (t *Table) Age(node int, now float64) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[node]
+	if e == nil || !e.haveSample {
+		return -1
+	}
+	return now - e.receivedAt
+}
+
+// Advertised returns node's last broadcast sample as received, without the
+// anti-herd bumps the broker's Snapshot applies — the "what the peer said"
+// half of the advertised-vs-observed comparison.
+func (t *Table) Advertised(node int) (Sample, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[node]
+	if e == nil || !e.haveSample {
+		return Sample{}, false
+	}
+	return e.sample, true
+}
+
+// PeerHistory is one peer's broadcast time-series.
+type PeerHistory struct {
+	Node    int               `json:"node"`
+	Records []BroadcastRecord `json:"records"`
+}
+
+// HistorySnapshot copies every peer's broadcast ring, sorted by node id.
+func (t *Table) HistorySnapshot() []PeerHistory {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int, 0, len(t.entries))
+	for id, e := range t.entries {
+		if len(e.history) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	out := make([]PeerHistory, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, PeerHistory{
+			Node:    id,
+			Records: append([]BroadcastRecord(nil), t.entries[id].history...),
+		})
+	}
+	return out
 }
 
 // MarkFailure records one data-path failure against node (an internal

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: spans rendered in the JSON format Perfetto
+// and chrome://tracing load (the "JSON Array Format" with a traceEvents
+// wrapper). The mapping:
+//
+//   - one track (pid) per server node, plus one for the client side;
+//   - one row (tid) per span, so concurrent requests on a node stack
+//     instead of overlapping;
+//   - "X" complete slices for the phase intervals (parse, analyze,
+//     redirect, fetch+send, resolve, deliver);
+//   - "s"/"f" flow arrows whenever a span hops between tracks — the 302
+//     redirect and the internal fetch made visible as arrows;
+//   - "i" instants for events that bound no slice (refused, timed-out);
+//   - "M" metadata naming the tracks.
+//
+// Timestamps are microseconds, rebased to the earliest event so the
+// viewer opens at t=0 instead of the Unix epoch.
+
+// chromeEvent is one element of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// clientPid is the track for node -1 (the client / DNS side).
+const clientPid = 1
+
+func chromePid(node int) int {
+	if node < 0 {
+		return clientPid
+	}
+	return node + 2
+}
+
+// slicePairs maps adjacent same-track event kinds to a named phase slice.
+var slicePairs = map[[2]Kind]string{
+	{EvIssued, EvResolved}:     "resolve",
+	{EvConnected, EvParsed}:    "parse",
+	{EvParsed, EvAnalyzed}:     "analyze",
+	{EvAnalyzed, EvRedirected}: "redirect",
+	{EvAnalyzed, EvForwarded}:  "forward",
+	{EvFetchLocal, EvSent}:     "fetch-local+send",
+	{EvFetchNFS, EvSent}:       "fetch-nfs+send",
+	{EvCGI, EvSent}:            "cgi+send",
+	{EvSent, EvDelivered}:      "deliver",
+}
+
+// ExportChrome writes the spans as a Perfetto-loadable Chrome trace.
+func ExportChrome(w io.Writer, spans []Span) error {
+	var out []chromeEvent
+	pids := map[int]int{} // chrome pid -> sweb node
+	t0, haveT0 := 0.0, false
+	for _, sp := range spans {
+		for _, e := range sp.Events {
+			if !haveT0 || e.At < t0 {
+				t0, haveT0 = e.At, true
+			}
+		}
+	}
+	ts := func(at float64) float64 { return (at - t0) * 1e6 }
+
+	for si, sp := range spans {
+		tid := int64(si + 1)
+		used := make([]bool, len(sp.Events))
+		flows := 0
+		for i := 1; i < len(sp.Events); i++ {
+			a, b := sp.Events[i-1], sp.Events[i]
+			pids[chromePid(a.Node)] = a.Node
+			pids[chromePid(b.Node)] = b.Node
+			if chromePid(a.Node) == chromePid(b.Node) {
+				if name, ok := slicePairs[[2]Kind{a.Kind, b.Kind}]; ok {
+					dur := ts(b.At) - ts(a.At)
+					if dur < 0 {
+						dur = 0
+					}
+					out = append(out, chromeEvent{
+						Name: name, Cat: "sweb", Ph: "X",
+						Ts: ts(a.At), Dur: dur,
+						Pid: chromePid(a.Node), Tid: tid,
+						Args: map[string]any{"trace": string(sp.Trace), "detail": a.Detail},
+					})
+					used[i-1], used[i] = true, true
+				}
+				continue
+			}
+			// Track hop: a redirect or internal fetch crossing nodes
+			// becomes a flow arrow between the two tracks.
+			flows++
+			id := fmt.Sprintf("%s/%d", sp.Trace, flows)
+			out = append(out, chromeEvent{
+				Name: "hop", Cat: "sweb", Ph: "s", Ts: ts(a.At),
+				Pid: chromePid(a.Node), Tid: tid, ID: id,
+			})
+			out = append(out, chromeEvent{
+				Name: "hop", Cat: "sweb", Ph: "f", BP: "e", Ts: ts(b.At),
+				Pid: chromePid(b.Node), Tid: tid, ID: id,
+			})
+		}
+		for i, e := range sp.Events {
+			pids[chromePid(e.Node)] = e.Node
+			if used[i] {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: string(e.Kind), Cat: "sweb", Ph: "i", S: "t",
+				Ts: ts(e.At), Pid: chromePid(e.Node), Tid: tid,
+				Args: map[string]any{"trace": string(sp.Trace), "detail": e.Detail},
+			})
+		}
+	}
+
+	pidList := make([]int, 0, len(pids))
+	for p := range pids {
+		pidList = append(pidList, p)
+	}
+	sort.Ints(pidList)
+	meta := make([]chromeEvent, 0, len(pidList))
+	for _, p := range pidList {
+		name := fmt.Sprintf("node %d", pids[p])
+		if pids[p] < 0 {
+			name = "client"
+		}
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: p,
+			Args: map[string]any{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, out...),
+		DisplayTimeUnit: "ms",
+	})
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBeginJoinsAndMints(t *testing.T) {
+	rec := NewRecorder(0)
+	req1, minted := rec.Begin("")
+	if minted == "" {
+		t.Fatal("Begin(\"\") did not mint a trace id")
+	}
+	req2, joined := rec.Begin(minted)
+	if joined != minted {
+		t.Fatalf("joining returned %q, want the inbound %q", joined, minted)
+	}
+	if rec.TraceOf(req1) != minted || rec.TraceOf(req2) != minted {
+		t.Fatal("both requests should be bound to the same trace")
+	}
+	rec.Record(req2, 1.0, EvConnected, 1, "")
+	evs := rec.Events()
+	if len(evs) != 1 || evs[0].Trace != minted {
+		t.Fatalf("recorded event not stamped with the trace: %+v", evs)
+	}
+}
+
+func TestBeginDisabledPassesContextThrough(t *testing.T) {
+	var rec *Recorder
+	req, ctx := rec.Begin("abcd")
+	if req != -1 || ctx != "abcd" {
+		t.Fatalf("disabled Begin = (%d, %q), want (-1, \"abcd\")", req, ctx)
+	}
+	rec.Record(req, 0, EvConnected, 0, "") // must not panic
+}
+
+func TestDroppedCountsOverflow(t *testing.T) {
+	rec := NewRecorder(2)
+	req := rec.NewRequest()
+	for i := 0; i < 5; i++ {
+		rec.Record(req, float64(i), EvConnected, 0, "")
+	}
+	if rec.Len() != 2 {
+		t.Fatalf("kept %d events, want 2", rec.Len())
+	}
+	if rec.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", rec.Dropped())
+	}
+}
+
+func TestCollectorAlignsEpochs(t *testing.T) {
+	col := NewCollector()
+	// Two nodes, epochs 100s apart, both contributing to trace "x": the
+	// collector must shift each stream onto the shared absolute clock.
+	col.Add(100, []Event{{Trace: "x", Req: 1, At: 1.0, Kind: EvConnected, Node: 0}})
+	col.Add(200, []Event{{Trace: "x", Req: 7, At: 0.5, Kind: EvSent, Node: 1}})
+	evs := col.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].At != 101.0 || evs[1].At != 200.5 {
+		t.Fatalf("epoch alignment wrong: %v and %v", evs[0].At, evs[1].At)
+	}
+	spans := col.Spans()
+	if len(spans) != 1 || spans[0].Trace != "x" {
+		t.Fatalf("want one span for trace x, got %+v", spans)
+	}
+	if n := spans[0].Nodes(); len(n) != 2 {
+		t.Fatalf("span nodes %v, want both", n)
+	}
+}
+
+func TestCollectorSyntheticIDsNeverMerge(t *testing.T) {
+	// Untraced events with the same local request id on different nodes
+	// must not merge into one span.
+	col := NewCollector()
+	col.Add(0, []Event{{Req: 1, At: 1, Kind: EvConnected, Node: 0}})
+	col.Add(0, []Event{{Req: 1, At: 2, Kind: EvConnected, Node: 1}})
+	if spans := col.Spans(); len(spans) != 2 {
+		t.Fatalf("untraced streams merged: %+v", spans)
+	}
+}
+
+func TestSpanRedirectionSumsHops(t *testing.T) {
+	span := Span{Trace: "x", Events: []Event{
+		{At: 1.0, Kind: EvConnected, Node: 0},
+		{At: 1.2, Kind: EvRedirected, Node: 0},
+		{At: 1.7, Kind: EvConnected, Node: 1},
+		{At: 2.0, Kind: EvSent, Node: 1},
+	}}
+	got, ok := span.Redirection()
+	if !ok || got < 0.499 || got > 0.501 {
+		t.Fatalf("Redirection() = (%v, %v), want (0.5, true)", got, ok)
+	}
+	noHop := Span{Trace: "y", Events: []Event{{At: 1, Kind: EvConnected, Node: 0}}}
+	if _, ok := noHop.Redirection(); ok {
+		t.Fatal("span without a redirect reported a hop")
+	}
+}
+
+func TestExportChromeSchema(t *testing.T) {
+	col := NewCollector()
+	col.Add(0, []Event{
+		{Trace: "x", Req: 1, At: 0.0, Kind: EvIssued, Node: -1},
+		{Trace: "x", Req: 1, At: 0.1, Kind: EvResolved, Node: 0},
+		{Trace: "x", Req: 2, At: 0.2, Kind: EvConnected, Node: 0},
+		{Trace: "x", Req: 2, At: 0.3, Kind: EvParsed, Node: 0},
+		{Trace: "x", Req: 2, At: 0.4, Kind: EvAnalyzed, Node: 0},
+		{Trace: "x", Req: 2, At: 0.5, Kind: EvRedirected, Node: 0},
+		{Trace: "x", Req: 3, At: 0.9, Kind: EvConnected, Node: 1},
+		{Trace: "x", Req: 3, At: 1.0, Kind: EvSent, Node: 1},
+	})
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, col.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range out.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if !strings.Contains("XsfiM", ph) || ph == "" {
+			t.Fatalf("unexpected phase %q in %v", ph, ev)
+		}
+	}
+	// The node-0→node-1 hop must render as a flow arrow pair, the
+	// adjacent same-node pairs as complete slices, plus track metadata.
+	if phases["s"] == 0 || phases["f"] == 0 {
+		t.Fatalf("no flow arrows: %v", phases)
+	}
+	if phases["X"] == 0 || phases["M"] == 0 {
+		t.Fatalf("missing slices or metadata: %v", phases)
+	}
+}

@@ -7,10 +7,14 @@
 package trace
 
 import (
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind classifies an event.
@@ -34,19 +38,43 @@ const (
 	EvTimedOut   Kind = "timed-out"   // client gave up
 )
 
-// Event is one step of one request.
+// TraceID names one end-to-end request across every node it touches. It
+// travels with the request — as the swebt query parameter through a 302
+// and as the X-Sweb-Trace header on internal fetches — so a peer joining
+// the work records into the same logical trace.
+type TraceID string
+
+// fallbackTraceCtr backs NewTraceID if the system entropy source fails.
+var fallbackTraceCtr atomic.Int64
+
+// NewTraceID mints a cluster-unique trace id (8 random bytes, hex). No
+// coordination is needed: independent nodes minting ids concurrently
+// collide with negligible probability.
+func NewTraceID() TraceID {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return TraceID(fmt.Sprintf("t%016x", fallbackTraceCtr.Add(1)))
+	}
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// Event is one step of one request. The JSON tags are the /sweb/trace
+// wire format the live nodes expose for cross-node stitching.
 type Event struct {
+	// Trace is the end-to-end trace the event belongs to ("" for events
+	// recorded before trace propagation, kept for compatibility).
+	Trace TraceID `json:"trace,omitempty"`
 	// Req identifies the request within the recorder's lifetime.
-	Req int64
+	Req int64 `json:"req"`
 	// At is the event time in seconds (sim time or wall time since the
 	// recorder's epoch).
-	At float64
+	At float64 `json:"at"`
 	// Kind classifies the step.
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// Node is the server node involved, -1 when not applicable.
-	Node int
+	Node int `json:"node"`
 	// Detail is free-form ("path=/a.html", "target=3").
-	Detail string
+	Detail string `json:"detail,omitempty"`
 }
 
 // Recorder accumulates events. The zero value discards everything (so the
@@ -58,6 +86,8 @@ type Recorder struct {
 	events  []Event
 	nextReq int64
 	limit   int
+	dropped int64
+	traces  map[int64]TraceID
 }
 
 // NewRecorder returns a recorder capturing up to limit events (<=0 means
@@ -66,24 +96,54 @@ func NewRecorder(limit int) *Recorder {
 	if limit <= 0 {
 		limit = 1 << 20
 	}
-	return &Recorder{on: true, limit: limit}
+	return &Recorder{on: true, limit: limit, traces: make(map[int64]TraceID)}
 }
 
 // Enabled reports whether the recorder captures anything.
 func (r *Recorder) Enabled() bool { return r != nil && r.on }
 
-// NewRequest allocates a request id.
+// NewRequest allocates a request id under a freshly minted trace.
 func (r *Recorder) NewRequest() int64 {
+	id, _ := r.Begin("")
+	return id
+}
+
+// Begin allocates a request id bound to trace ctx — a peer joining work
+// another node started — minting a fresh TraceID when ctx is empty. It
+// returns the id and the trace the caller should propagate onward. On a
+// disabled recorder it returns (-1, ctx) so the trace context still flows
+// through untraced nodes.
+func (r *Recorder) Begin(ctx TraceID) (int64, TraceID) {
 	if !r.Enabled() {
-		return -1
+		return -1, ctx
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextReq++
-	return r.nextReq
+	if ctx == "" {
+		ctx = NewTraceID()
+	}
+	// Once the event buffer is full every Record drops anyway; not
+	// binding further ids keeps the trace map bounded on long runs while
+	// ctx still propagates through the return value.
+	if len(r.events) < r.limit {
+		r.traces[r.nextReq] = ctx
+	}
+	return r.nextReq, ctx
 }
 
-// Record appends one event.
+// TraceOf returns the trace a request id was begun under ("" when
+// unknown or unbound).
+func (r *Recorder) TraceOf(req int64) TraceID {
+	if !r.Enabled() {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traces[req]
+}
+
+// Record appends one event, stamping it with the request's trace.
 func (r *Recorder) Record(req int64, at float64, kind Kind, node int, detail string) {
 	if !r.Enabled() || req < 0 {
 		return
@@ -91,9 +151,23 @@ func (r *Recorder) Record(req int64, at float64, kind Kind, node int, detail str
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.events) >= r.limit {
+		r.dropped++
 		return
 	}
-	r.events = append(r.events, Event{Req: req, At: at, Kind: kind, Node: node, Detail: detail})
+	r.events = append(r.events, Event{
+		Trace: r.traces[req], Req: req, At: at, Kind: kind, Node: node, Detail: detail,
+	})
+}
+
+// Dropped returns the number of events discarded at the capture limit —
+// the signal that a span may be incomplete and the limit needs raising.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Len returns the number of captured events.
@@ -154,7 +228,11 @@ func RenderSpan(events []Event) string {
 	}
 	var b strings.Builder
 	t0 := events[0].At
-	fmt.Fprintf(&b, "req %d\n", events[0].Req)
+	if tr := events[0].Trace; tr != "" {
+		fmt.Fprintf(&b, "req %d  trace %s\n", events[0].Req, tr)
+	} else {
+		fmt.Fprintf(&b, "req %d\n", events[0].Req)
+	}
 	for _, e := range events {
 		node := "-"
 		if e.Node >= 0 {
@@ -178,13 +256,27 @@ type Summary struct {
 	MeanPhase map[string]float64
 }
 
-// Summarize reduces the full stream.
+// groupKey buckets events into end-to-end requests: the trace id when
+// propagation stamped one, else the local request id (pre-propagation
+// streams, where hops were separate requests).
+func groupKey(e Event) string {
+	if e.Trace != "" {
+		return string(e.Trace)
+	}
+	return "req:" + strconv.FormatInt(e.Req, 10)
+}
+
+// Summarize reduces the full stream. Events sharing a trace id — the hops
+// of one redirected request, stitched across nodes — are summarized as a
+// single request, so the redirected→connected edge is the measured
+// t_redirection of the paper's cost model.
 func Summarize(events []Event) Summary {
 	s := Summary{ByKind: map[Kind]int{}, MeanPhase: map[string]float64{}}
-	byReq := map[int64][]Event{}
+	byReq := map[string][]Event{}
 	for _, e := range events {
 		s.ByKind[e.Kind]++
-		byReq[e.Req] = append(byReq[e.Req], e)
+		k := groupKey(e)
+		byReq[k] = append(byReq[k], e)
 	}
 	s.Requests = len(byReq)
 	s.Redirected = s.ByKind[EvRedirected]
@@ -197,6 +289,7 @@ func Summarize(events []Event) Summary {
 		{EvIssued, EvConnected},
 		{EvConnected, EvParsed},
 		{EvParsed, EvAnalyzed},
+		{EvAnalyzed, EvRedirected},
 		{EvAnalyzed, EvSent},
 		{EvSent, EvDelivered},
 	}
@@ -217,6 +310,22 @@ func Summarize(events []Event) Summary {
 				key := string(ed.from) + "→" + string(ed.to)
 				sums[key] += b - a
 				counts[key]++
+			}
+		}
+		// The redirect hop needs more than first-occurrence times: the
+		// connection a 302 causes is the *next* connected after it, the
+		// first one being the hop's origin.
+		pending, havePending := 0.0, false
+		for _, e := range evs {
+			switch e.Kind {
+			case EvRedirected:
+				pending, havePending = e.At, true
+			case EvConnected:
+				if havePending && e.At >= pending {
+					sums["redirected→connected"] += e.At - pending
+					counts["redirected→connected"]++
+					havePending = false
+				}
 			}
 		}
 	}

@@ -213,6 +213,21 @@ type TraceRecorder = trace.Recorder
 // (<=0 for the default cap).
 func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
 
+// TraceCollector stitches per-node event streams into end-to-end spans.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector returns an empty collector; feed it each node's
+// /sweb/trace dump (events + epoch) and read back cross-node spans.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
+// TraceSpan is one stitched end-to-end request.
+type TraceSpan = trace.Span
+
+// ExportChromeTrace writes spans as a Perfetto-loadable Chrome trace
+// (chrome://tracing / ui.perfetto.dev): one track per node, flow arrows
+// for cross-node hops.
+var ExportChromeTrace = trace.ExportChrome
+
 // AccessLogEntry is one NCSA Common Log Format record.
 type AccessLogEntry = accesslog.Entry
 
