@@ -1,9 +1,9 @@
 GO ?= go
 
 # Packages with concurrent live-cluster paths; kept race-clean.
-RACE_PKGS = ./internal/httpd/... ./internal/loadd/... ./internal/live/... ./internal/retry/... ./internal/metrics/...
+RACE_PKGS = ./internal/httpd/... ./internal/loadd/... ./internal/live/... ./internal/retry/... ./internal/metrics/... ./internal/monitor/...
 
-.PHONY: build test vet race fmt-check check bench
+.PHONY: build test vet race fmt-check check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,13 @@ fmt-check:
 check: build vet fmt-check test race
 
 # Regenerate the paper's evaluation on the simulated substrate and archive
-# the headline metrics machine-readably.
+# the headline metrics machine-readably. -benchtime=1x pins one DES run per
+# benchmark, so the seeded headline metrics are reproducible and comparable.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sim.json
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 	@echo "wrote BENCH_sim.json"
+
+# Diff a fresh run against the committed baseline; fails on any headline
+# metric regressing more than 20%.
+bench-compare:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -compare BENCH_sim.json

@@ -9,14 +9,29 @@
 // "meiko-sustained-1.5M-rps") is collected in the per-benchmark metrics
 // map. Non-benchmark lines (PASS, ok, goos/goarch headers) pass through
 // untouched to stderr so the terminal still shows the run's verdict.
+//
+// With -compare, the fresh run is diffed against an archived baseline and
+// the command fails when a headline metric regresses past -threshold:
+//
+//	go test -run '^$' -bench=. -benchtime=1x . | \
+//	    go run ./cmd/benchjson -compare BENCH_sim.json
+//
+// Only the deterministic b.ReportMetric headline numbers gate by default;
+// wall-clock ns/op varies with the machine and only participates under
+// -timing. Direction is inferred from the unit name: throughput ("-rps",
+// "speedup") must not fall, latency/drop figures ("-s", "-ms", "-pct")
+// must not climb.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,10 +52,28 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline Report JSON to diff the fresh run against; regressions past -threshold fail")
+	threshold := flag.Float64("threshold", 0.2, "relative regression tolerance for -compare (0.2 = 20%)")
+	timing := flag.Bool("timing", false, "also gate machine-dependent ns/op in -compare mode")
+	flag.Parse()
+
 	rep, err := parse(os.Stdin, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *compare != "" {
+		base, err := readReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		ok := diffReports(os.Stdout, base, rep, *threshold, *timing)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% against %s\n", *threshold*100, *compare)
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -48,6 +81,106 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// higherIsBetter infers a metric's good direction from its unit name.
+// Unknown units return ok=false and are reported but never gate.
+func higherIsBetter(unit string) (better, ok bool) {
+	switch {
+	case strings.HasSuffix(unit, "-rps"), strings.Contains(unit, "speedup"):
+		return true, true
+	case strings.HasSuffix(unit, "-s"), strings.HasSuffix(unit, "-ms"),
+		strings.HasSuffix(unit, "-pct"), unit == "ns/op":
+		return false, true
+	}
+	return false, false
+}
+
+// diffReports prints a comparison table and reports whether the fresh run
+// stays within threshold of the baseline on every gated metric. A metric
+// present in the baseline but missing from the fresh run also fails: a
+// silently vanished benchmark must not read as a pass.
+func diffReports(w io.Writer, base, fresh *Report, threshold float64, timing bool) bool {
+	freshBy := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	pass := true
+	fmt.Fprintf(w, "%-55s %12s %12s %8s  %s\n", "metric", "base", "new", "change", "verdict")
+	for _, bb := range base.Benchmarks {
+		fb, found := freshBy[bb.Name]
+		if !found {
+			fmt.Fprintf(w, "%-55s %12s %12s %8s  FAIL (benchmark missing)\n", bb.Name, "-", "-", "-")
+			pass = false
+			continue
+		}
+		units := make([]string, 0, len(bb.Metrics)+1)
+		for u := range bb.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		if timing && bb.NsPerOp > 0 {
+			units = append(units, "ns/op")
+		}
+		for _, unit := range units {
+			name := bb.Name + " " + unit
+			var bv, fv float64
+			var present bool
+			if unit == "ns/op" {
+				bv, fv, present = bb.NsPerOp, fb.NsPerOp, fb.NsPerOp > 0
+			} else {
+				bv = bb.Metrics[unit]
+				fv, present = fb.Metrics[unit]
+			}
+			if !present {
+				fmt.Fprintf(w, "%-55s %12.4g %12s %8s  FAIL (metric missing)\n", name, bv, "-", "-")
+				pass = false
+				continue
+			}
+			better, known := higherIsBetter(unit)
+			change, regressed := regression(bv, fv, better, threshold)
+			verdict := "ok"
+			switch {
+			case !known:
+				verdict = "skip (unknown unit)"
+			case regressed:
+				verdict = "FAIL"
+				pass = false
+			}
+			fmt.Fprintf(w, "%-55s %12.4g %12.4g %+7.1f%%  %s\n", name, bv, fv, change*100, verdict)
+		}
+	}
+	return pass
+}
+
+// regression returns the relative change and whether it exceeds threshold
+// in the bad direction. A zero baseline only regresses when a lower-better
+// metric becomes positive.
+func regression(base, fresh float64, higherBetter bool, threshold float64) (change float64, regressed bool) {
+	if base == 0 {
+		if fresh == 0 {
+			return 0, false
+		}
+		return math.Inf(1), !higherBetter
+	}
+	change = (fresh - base) / math.Abs(base)
+	if higherBetter {
+		return change, change < -threshold
+	}
+	return change, change > threshold
 }
 
 // parse reads `go test -bench` output from r, echoing non-benchmark lines

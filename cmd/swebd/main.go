@@ -60,6 +60,8 @@ func run() error {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty disables)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) JSON of this node's spans here on shutdown (enables tracing)")
 	traceLimit := flag.Int("trace-limit", 0, "trace event capture cap (0: default 1M; only with -trace-out)")
+	grace := flag.Duration("grace", 10*time.Second, "in-flight drain budget on SIGINT/SIGTERM before hard close")
+	metricsOut := flag.String("metrics-out", "", "write the final /sweb/metrics snapshot to this file on shutdown")
 	flag.Parse()
 
 	if *docroot == "" || *manifestPath == "" {
@@ -158,12 +160,34 @@ func run() error {
 	fmt.Printf("swebd: node %d serving on http://%s (loadd %s), %d documents, policy %s\n",
 		*id, srv.Addr(), srv.UDPAddr(), store.Len(), *policy)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Close()
+	fmt.Printf("swebd: shutting down, draining in-flight requests (grace %s; signal again to force)\n", *grace)
+	// A second signal during the drain skips the grace period: Close tears
+	// the node down immediately, cutting in-flight connections.
+	done := make(chan bool, 1)
+	go func() { done <- srv.Shutdown(*grace) }()
+	var drained bool
+	select {
+	case drained = <-done:
+	case <-sig:
+		srv.Close()
+		drained = <-done
+	}
+	if !drained {
+		fmt.Fprintln(os.Stderr, "swebd: grace period expired with requests still in flight")
+	}
+	// Flush everything the abrupt path used to drop: the access log, the
+	// final metrics snapshot, then (below) the trace.
 	if cfg.AccessLog != nil {
 		_ = cfg.AccessLog.Flush()
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut, srv); err != nil {
+			return err
+		}
+		fmt.Printf("swebd: wrote final metrics snapshot to %s\n", *metricsOut)
 	}
 	st := srv.Stats()
 	fmt.Printf("swebd: served=%d redirected=%d refused=%d internal=%d bytes=%d\n",
@@ -176,6 +200,20 @@ func run() error {
 			rec.Len(), *traceOut, rec.Dropped())
 	}
 	return nil
+}
+
+// writeMetricsSnapshot renders the node's registry one last time — the
+// counters a scraper would have lost between its final poll and the exit.
+func writeMetricsSnapshot(path string, srv *httpd.Server) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := srv.Registry().WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeChromeTrace exports this node's recorded spans. A single node sees

@@ -8,6 +8,7 @@
 //	                              # overhead, analytic, a1..a4, hetero
 //	swebsim -table 2 -quick       # shortened durations and search limits
 //	swebsim -seed 7               # change the randomness seed
+//	swebsim -monitor-csv out.csv  # monitored demo burst → timeline CSV
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 	"os"
 	"strings"
 
+	"sweb/internal/des"
 	"sweb/internal/experiments"
+	"sweb/internal/monitor"
 	"sweb/internal/simsrv"
 	"sweb/internal/stats"
 	"sweb/internal/storage"
@@ -31,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	format := flag.String("format", "text", "output format: text, md, csv")
 	traceOut := flag.String("trace-out", "", "also run a small traced Meiko burst and write its Chrome trace-event (Perfetto) JSON here")
+	monitorCSV := flag.String("monitor-csv", "", "run a monitored Meiko burst and write its load-over-time timeline CSV here")
 	flag.Parse()
 
 	if *traceOut != "" {
@@ -39,6 +43,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote simulated trace to %s; load it at ui.perfetto.dev\n", *traceOut)
+		if *table == "" && *monitorCSV == "" {
+			return
+		}
+	}
+
+	if *monitorCSV != "" {
+		if err := exportMonitorCSV(*monitorCSV, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "swebsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote simulated monitor timeline to %s\n", *monitorCSV)
 		if *table == "" {
 			return
 		}
@@ -130,4 +145,42 @@ func exportDemoTrace(path string, seed int64) error {
 	}
 	defer f.Close()
 	return trace.ExportChrome(f, col.Spans())
+}
+
+// exportMonitorCSV runs the same demo-sized Meiko burst with a cluster
+// monitor collecting once per simulated second, then writes the
+// load-over-time timeline CSV — the simulated twin of `swebtop -csv`.
+func exportMonitorCSV(path string, seed int64) error {
+	const nodes = 4
+	st := storage.NewStore(nodes)
+	paths := storage.UniformSet(st, 16, 64<<10)
+	cfg := simsrv.MeikoConfig(nodes, st)
+	cfg.Seed = seed
+	cl, err := simsrv.New(cfg)
+	if err != nil {
+		return err
+	}
+	mon := monitor.New(monitor.Config{Window: 5})
+	for i := 0; i < cl.Nodes(); i++ {
+		i := i
+		mon.AddSource(&monitor.RegistrySource{
+			Name:     fmt.Sprintf("%d", i),
+			Registry: cl.Registry(i),
+			Up:       func() bool { return cl.NodeUp(i) },
+		})
+	}
+	cl.Every(des.Second, func() { mon.Collect(cl.Sim.Now().ToSeconds()) })
+	burst := workload.Burst{RPS: 8, DurationSeconds: 5, Jitter: true}
+	rng := rand.New(rand.NewSource(seed))
+	arrivals, err := burst.Generate(workload.UniformPicker(paths), nil, rng)
+	if err != nil {
+		return err
+	}
+	cl.RunSchedule(arrivals)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return mon.WriteTimelineCSV(f)
 }

@@ -1,0 +1,106 @@
+// Command swebtop is a terminal dashboard for a running SWEB cluster.
+// It scrapes each node's /sweb/metrics endpoint on an interval, keeps a
+// sliding time-series window, and renders per-node load, request and
+// redirect rates, per-phase latency quantiles, and firing alerts.
+//
+// Usage:
+//
+//	swebtop host1:8080 host2:8080 ...        # live refreshing dashboard
+//	swebtop -once host1:8080 host2:8080      # single snapshot (CI-friendly)
+//	swebtop -csv out.csv -rounds 10 host...  # collect, then dump timeline CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"sweb/internal/monitor"
+)
+
+func main() {
+	interval := flag.Duration("interval", time.Second, "scrape/refresh interval")
+	window := flag.Float64("window", 15, "rate/quantile window in seconds")
+	once := flag.Bool("once", false, "collect a couple of rounds, print one snapshot, exit")
+	rounds := flag.Int("rounds", 0, "exit after this many collect rounds (0 = run until interrupted)")
+	csvOut := flag.String("csv", "", "write the load-over-time timeline CSV here on exit")
+	flag.Parse()
+
+	addrs := flag.Args()
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "swebtop: no node addresses given (host:port ...)")
+		os.Exit(2)
+	}
+
+	mon := monitor.New(monitor.Config{Window: *window})
+	for i, addr := range addrs {
+		mon.AddSource(&monitor.HTTPSource{
+			Name:    strconv.Itoa(i),
+			Addr:    addr,
+			Timeout: *interval,
+		})
+	}
+
+	maxRounds := *rounds
+	if *once && maxRounds == 0 {
+		// Two rounds give every counter a baseline so rates are non-zero.
+		maxRounds = 2
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	epoch := time.Now()
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	mon.Collect(time.Since(epoch).Seconds())
+	if !*once {
+		render(mon)
+	}
+
+loop:
+	for maxRounds == 0 || mon.Rounds() < int64(maxRounds) {
+		select {
+		case <-sig:
+			break loop
+		case <-tick.C:
+			mon.Collect(time.Since(epoch).Seconds())
+			if !*once {
+				render(mon)
+			}
+		}
+	}
+
+	if *once {
+		fmt.Print(monitor.RenderSnapshot(mon.Snapshot()))
+	}
+	if *csvOut != "" {
+		if err := writeCSV(mon, *csvOut); err != nil {
+			fmt.Fprintln(os.Stderr, "swebtop:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "swebtop: wrote timeline CSV to %s\n", *csvOut)
+	}
+}
+
+// render clears the terminal and draws the current snapshot.
+func render(mon *monitor.Monitor) {
+	fmt.Print("\x1b[2J\x1b[H")
+	fmt.Print(monitor.RenderSnapshot(mon.Snapshot()))
+}
+
+func writeCSV(mon *monitor.Monitor, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mon.WriteTimelineCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

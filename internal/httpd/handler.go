@@ -57,6 +57,11 @@ func (s *Server) acceptLoop() {
 			select {
 			case <-s.closed:
 				return
+			case <-s.draining:
+				// Graceful shutdown closed the listener before closed is
+				// signalled; exiting here (not continuing) keeps the loop
+				// from spinning on the dead listener during the drain.
+				return
 			default:
 				continue
 			}

@@ -116,7 +116,7 @@ func (s *Server) TraceDump() TraceDump {
 // listener and returns the status written.
 func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
 	var body []byte
-	ctype := "text/plain; version=0.0.4"
+	ctype := metrics.ContentType
 	switch req.Path {
 	case "/sweb/status":
 		b, err := json.MarshalIndent(s.StatusReport(), "", "  ")
@@ -145,6 +145,12 @@ func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
 			return code
 		}
 		body = buf.Bytes()
+		// WriteText newline-terminates every line, but guarantee the
+		// trailing newline even for an empty registry: parsers in the
+		// exposition-format lineage reject truncated final lines.
+		if len(body) == 0 || body[len(body)-1] != '\n' {
+			body = append(body, '\n')
+		}
 	default:
 		code := httpmsg.StatusNotFound
 		_ = httpmsg.WriteSimpleResponse(conn, code, nil,

@@ -2,6 +2,7 @@ package httpd
 
 import (
 	"math"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -70,6 +71,26 @@ func newNodeMetrics(s *Server) *nodeMetrics {
 	}
 	reg.GaugeFunc("sweb_inflight", "connections being handled now", nil,
 		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("sweb_capacity", "concurrent-connection ceiling (MAXLOAD analogue)", nil,
+		func() float64 { return float64(s.cfg.MaxConcurrent) })
+	// Server-process health next to the modelled load: a node can look
+	// lightly loaded in SWEB terms while the Go runtime is drowning.
+	reg.Gauge("sweb_build_info", "build metadata; value is always 1",
+		metrics.Labels{"go_version": runtime.Version()}).Set(1)
+	reg.GaugeFunc("sweb_goroutines", "live goroutines in the server process", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("sweb_heap_alloc_bytes", "bytes of allocated heap objects", nil,
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("sweb_gc_pause_seconds_total", "cumulative GC stop-the-world pause time", nil,
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
 	reg.GaugeFunc("sweb_disk_active", "in-progress local disk reads", nil,
 		func() float64 { return float64(s.diskActive.Load()) })
 	reg.GaugeFunc("sweb_net_active", "in-progress transfers and fetches", nil,

@@ -232,9 +232,10 @@ type Server struct {
 	cgiMu sync.RWMutex
 	cgi   map[string]CGIFunc
 
-	closed  chan struct{}
-	closeMu sync.Mutex
-	wg      sync.WaitGroup
+	closed   chan struct{}
+	draining chan struct{}
+	closeMu  sync.Mutex
+	wg       sync.WaitGroup
 }
 
 // New binds the node's HTTP and UDP sockets but does not serve yet; read
@@ -271,6 +272,7 @@ func New(cfg Config) (*Server, error) {
 		peers:      make(map[int]Peer),
 		cgi:        make(map[string]CGIFunc),
 		closed:     make(chan struct{}),
+		draining:   make(chan struct{}),
 		dropCounts: make(map[string]int64),
 		audit:      newAuditLog(auditCap),
 	}
@@ -354,6 +356,38 @@ func (s *Server) Close() {
 	s.ln.Close()
 	s.udp.Close()
 	s.wg.Wait()
+}
+
+// Shutdown stops the node gracefully: the listener closes immediately so
+// no new connection is accepted, in-flight handlers get up to grace to
+// drain, then the node is torn down as in Close. It reports whether the
+// node drained fully within the grace period.
+func (s *Server) Shutdown(grace time.Duration) bool {
+	s.closeMu.Lock()
+	select {
+	case <-s.closed:
+		s.closeMu.Unlock()
+		return true
+	default:
+	}
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+	s.closeMu.Unlock()
+	s.ln.Close() // acceptLoop sees draining and exits instead of spinning
+	deadline := time.Now().Add(grace)
+	drained := true
+	for s.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			drained = false
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.Close()
+	return drained
 }
 
 // Stats snapshots the counters.

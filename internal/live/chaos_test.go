@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sweb/internal/metrics"
+	"sweb/internal/monitor"
 	"sweb/internal/storage"
 )
 
@@ -185,6 +186,101 @@ func TestChaosNodeKilledMidRun(t *testing.T) {
 	}
 	if rep.Drops["owner_unreachable"] < 1 {
 		t.Fatalf("report drops = %v", rep.Drops)
+	}
+}
+
+// waitFor polls cond until it holds, failing the test after deadline.
+func waitFor(t *testing.T, what string, deadline time.Duration, cond func() bool) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s (%v)", what, deadline)
+}
+
+// TestMonitorAlertsOnKillAndRestart proves the alerting loop end to end:
+// a healthy cluster fires nothing, killing a node fires node_down (the
+// scrape is the health check) and gossip_stale (the survivors' view of its
+// last broadcast ages past the loadd timeout), and Restart clears both.
+func TestMonitorAlertsOnKillAndRestart(t *testing.T) {
+	const (
+		nodes        = 3
+		dead         = 2
+		loaddPeriod  = 50 * time.Millisecond
+		loaddTimeout = 400 * time.Millisecond
+		collect      = 60 * time.Millisecond
+	)
+	st := storage.NewStore(nodes)
+	storage.UniformSet(st, 6, 2048)
+	cl, err := Start(Options{
+		Nodes: nodes, Store: st, BaseDir: t.TempDir(), Policy: "sweb",
+		LoaddPeriod:  loaddPeriod,
+		LoaddTimeout: loaddTimeout,
+		Seed:         13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitKnown(t, []int{0, 1, 2}, cl, nodes, 10*time.Second)
+
+	mon := cl.StartMonitor(monitor.Config{
+		Window: 2,
+		Rules: monitor.RuleConfig{
+			StalenessSeconds: loaddTimeout.Seconds(),
+			ForSamples:       2,
+		},
+	}, collect)
+	if cl.Monitor() != mon {
+		t.Fatal("Monitor() does not return the attached monitor")
+	}
+
+	waitFor(t, "first collection rounds", 5*time.Second, func() bool { return mon.Rounds() >= 3 })
+	if alerts := mon.Alerts(); len(alerts) != 0 {
+		t.Fatalf("healthy cluster has firing alerts: %v", monitor.SortedAlertKeys(alerts))
+	}
+
+	if err := cl.Kill(dead); err != nil {
+		t.Fatal(err)
+	}
+	deadName := strconv.Itoa(dead)
+	waitFor(t, "node_down to fire", 10*time.Second, func() bool {
+		return mon.AlertFiring("node_down", deadName)
+	})
+	waitFor(t, "gossip_stale to fire", 10*time.Second, func() bool {
+		return mon.AlertFiring("gossip_stale", deadName)
+	})
+	// The firing state is exported back into the store as a metric.
+	if p, ok := monitor.Latest(mon.Store().Points("sweb_monitor_alert",
+		metrics.Labels{"rule": "node_down", "node": deadName})); !ok || p.V != 1 {
+		t.Fatalf("sweb_monitor_alert{rule=node_down,node=%s} = %+v ok=%v, want 1", deadName, p, ok)
+	}
+
+	if err := cl.Restart(dead); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "node_down to clear", 10*time.Second, func() bool {
+		return !mon.AlertFiring("node_down", deadName)
+	})
+	waitFor(t, "gossip_stale to clear", 10*time.Second, func() bool {
+		return !mon.AlertFiring("gossip_stale", deadName)
+	})
+
+	snap := mon.Snapshot()
+	if len(snap.Nodes) != nodes {
+		t.Fatalf("snapshot has %d node rows, want %d", len(snap.Nodes), nodes)
+	}
+	for _, row := range snap.Nodes {
+		if !row.Up {
+			t.Fatalf("node %s still down in snapshot after restart", row.Node)
+		}
+	}
+	if out := monitor.RenderSnapshot(snap); !strings.Contains(out, "alerts: none") {
+		t.Fatalf("rendered snapshot still shows alerts:\n%s", out)
 	}
 }
 

@@ -89,6 +89,8 @@ type Cluster struct {
 	// killed node can be restarted in place; nil for Assemble clusters.
 	cfgs  []httpd.Config
 	peers []httpd.Peer
+	// ms is the attached cluster monitor, nil until StartMonitor.
+	ms *monitorState
 }
 
 // Start materializes the docroots, binds and starts every node, and wires
@@ -208,6 +210,7 @@ func (c *Cluster) Epoch() time.Time { return c.epoch }
 
 // Close stops every node.
 func (c *Cluster) Close() {
+	c.StopMonitor()
 	for _, srv := range c.Servers {
 		if srv != nil {
 			srv.Close()

@@ -263,8 +263,14 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WriteText renders the registry in the Prometheus text exposition format,
-// families sorted by name, instances in registration order.
+// ContentType is the Prometheus text exposition media type a /sweb/metrics
+// response must declare.
+const ContentType = "text/plain; version=0.0.4"
+
+// WriteText renders the registry in the Prometheus text exposition format:
+// families sorted by name, instances sorted by label signature, every line
+// newline-terminated — byte-identical output for equal registry contents,
+// whatever the registration order.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
@@ -293,6 +299,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for _, f := range fams {
 		f.mu.Lock()
 		sigs := append([]string(nil), f.order...)
+		sort.Strings(sigs)
 		ms := make([]metric, len(sigs))
 		for i, sig := range sigs {
 			ms[i] = f.metrics[sig]

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildRandomRegistry registers a pseudo-random mix of counters, gauges,
+// and histograms — including label values that need escaping — and returns
+// the registry plus the samples it should expose.
+func buildRandomRegistry(rng *rand.Rand) (*Registry, map[string]float64) {
+	reg := NewRegistry()
+	want := make(map[string]float64)
+
+	nastyValues := []string{
+		"plain", "with space", `quote"inside`, `back\slash`, "new\nline",
+		"комета", "trailing\\",
+	}
+	label := func() Labels {
+		switch rng.Intn(3) {
+		case 0:
+			return nil
+		case 1:
+			return Labels{"a": nastyValues[rng.Intn(len(nastyValues))]}
+		default:
+			return Labels{
+				"a": nastyValues[rng.Intn(len(nastyValues))],
+				"z": fmt.Sprintf("v%d", rng.Intn(4)),
+			}
+		}
+	}
+
+	nCounters := 1 + rng.Intn(4)
+	for i := 0; i < nCounters; i++ {
+		name := fmt.Sprintf("test_counter_%d_total", i)
+		lbl := label()
+		c := reg.Counter(name, "random counter", lbl)
+		n := rng.Intn(50)
+		for j := 0; j < n; j++ {
+			c.Inc()
+		}
+		want[Sample{Name: name, Labels: lbl}.Key()] = float64(n)
+	}
+	nGauges := 1 + rng.Intn(4)
+	for i := 0; i < nGauges; i++ {
+		name := fmt.Sprintf("test_gauge_%d", i)
+		lbl := label()
+		g := reg.Gauge(name, "random gauge", lbl)
+		// Round-trippable values only: WriteText uses %g at full precision.
+		v := math.Round(rng.NormFloat64()*1e6) / 1e3
+		g.Set(v)
+		want[Sample{Name: name, Labels: lbl}.Key()] = v
+	}
+	nHists := rng.Intn(3)
+	for i := 0; i < nHists; i++ {
+		name := fmt.Sprintf("test_hist_%d_seconds", i)
+		lbl := label()
+		h := reg.Histogram(name, "random histogram", lbl, []float64{0.1, 1, 10})
+		n := rng.Intn(20)
+		sum := 0.0
+		cum := make([]float64, 4) // 0.1, 1, 10, +Inf
+		for j := 0; j < n; j++ {
+			v := math.Round(rng.Float64()*2000) / 100 // [0, 20], 2 decimals
+			h.Observe(v)
+			sum += v
+			for bi, ub := range []float64{0.1, 1, 10, math.Inf(1)} {
+				if v <= ub {
+					cum[bi]++
+				}
+			}
+		}
+		for bi, le := range []string{"0.1", "1", "10", "+Inf"} {
+			bl := Labels{"le": le}
+			for k, v := range lbl {
+				bl[k] = v
+			}
+			want[Sample{Name: name + "_bucket", Labels: bl}.Key()] = cum[bi]
+		}
+		want[Sample{Name: name + "_count", Labels: lbl}.Key()] = float64(n)
+		want[Sample{Name: name + "_sum", Labels: lbl}.Key()] = sum
+	}
+	return reg, want
+}
+
+// TestWriteParseRoundTrip is the exposition-conformance property test:
+// for many random registries, WriteText output must parse back (via
+// ParseText) into exactly the sample set the registry holds.
+func TestWriteParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		reg, want := buildRandomRegistry(rng)
+
+		var buf strings.Builder
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatalf("seed %d: WriteText: %v", seed, err)
+		}
+		text := buf.String()
+		if !strings.HasSuffix(text, "\n") {
+			t.Fatalf("seed %d: exposition does not end in a newline", seed)
+		}
+		samples, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("seed %d: ParseText: %v\n%s", seed, err, text)
+		}
+		got := make(map[string]float64, len(samples))
+		for _, s := range samples {
+			if _, dup := got[s.Key()]; dup {
+				t.Fatalf("seed %d: duplicate sample %s", seed, s.Key())
+			}
+			got[s.Key()] = s.Value
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d samples round-tripped, want %d\n%s",
+				seed, len(got), len(want), text)
+		}
+		for k, wv := range want {
+			gv, ok := got[k]
+			if !ok {
+				t.Fatalf("seed %d: sample %s lost in round trip", seed, k)
+			}
+			if math.Abs(gv-wv) > 1e-9*math.Max(1, math.Abs(wv)) {
+				t.Fatalf("seed %d: sample %s = %v, want %v", seed, k, gv, wv)
+			}
+		}
+	}
+}
+
+// TestWriteTextDeterministicOrder builds the same contents in two
+// different registration orders and requires byte-identical exposition.
+func TestWriteTextDeterministicOrder(t *testing.T) {
+	build := func(perm []int) string {
+		reg := NewRegistry()
+		register := []func(){
+			func() { reg.Counter("o_total", "c", Labels{"n": "1"}).Add(3) },
+			func() { reg.Counter("o_total", "c", Labels{"n": "0"}).Add(2) },
+			func() { reg.Gauge("o_gauge", "g", nil).Set(7) },
+			func() { reg.Histogram("o_seconds", "h", Labels{"p": "x"}, []float64{1}).Observe(0.5) },
+		}
+		for _, i := range perm {
+			register[i]()
+		}
+		var b strings.Builder
+		if err := reg.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{3, 2, 1, 0})
+	c := build([]int{1, 3, 0, 2})
+	if a != b || a != c {
+		t.Fatalf("WriteText order-dependent:\n--- a ---\n%s--- b ---\n%s--- c ---\n%s", a, b, c)
+	}
+}

@@ -1,0 +1,130 @@
+package monitor
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"sweb/internal/metrics"
+)
+
+// window narrows pts to the closed interval [from, to], including the last
+// point at or before from as the baseline a counter delta needs.
+func window(pts []Point, from, to float64) []Point {
+	lo := 0
+	for i, p := range pts {
+		if p.T <= from {
+			lo = i
+		}
+	}
+	hi := len(pts)
+	for hi > 0 && pts[hi-1].T > to {
+		hi--
+	}
+	if lo >= hi {
+		return nil
+	}
+	return pts[lo:hi]
+}
+
+// Delta is the counter increase over [from, to], tolerant of counter
+// resets: a drop between consecutive points (a node restart zeroing its
+// registry) contributes the post-reset value instead of a negative jump,
+// exactly the Prometheus increase() convention.
+func Delta(pts []Point, from, to float64) float64 {
+	w := window(pts, from, to)
+	if len(w) < 2 {
+		return 0
+	}
+	var inc float64
+	for i := 1; i < len(w); i++ {
+		d := w[i].V - w[i-1].V
+		if d < 0 {
+			d = w[i].V // reset: the counter restarted from zero
+		}
+		inc += d
+	}
+	return inc
+}
+
+// Rate is the per-second counter rate over [from, to]: the reset-aware
+// increase divided by the span actually observed (first to last retained
+// point in the window). Zero without two points or a positive span.
+func Rate(pts []Point, from, to float64) float64 {
+	w := window(pts, from, to)
+	if len(w) < 2 {
+		return 0
+	}
+	span := w[len(w)-1].T - w[0].T
+	if span <= 0 {
+		return 0
+	}
+	return Delta(pts, from, to) / span
+}
+
+// Deriv is the per-second slope of a gauge over [from, to]: (last-first)
+// divided by the observed span. Unlike Rate it goes negative when the
+// gauge falls.
+func Deriv(pts []Point, from, to float64) float64 {
+	w := window(pts, from, to)
+	if len(w) < 2 {
+		return 0
+	}
+	span := w[len(w)-1].T - w[0].T
+	if span <= 0 {
+		return 0
+	}
+	return (w[len(w)-1].V - w[0].V) / span
+}
+
+// Latest returns the newest point, false when the series is empty.
+func Latest(pts []Point) (Point, bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// HistogramQuantile estimates the q-th quantile of histogram name over the
+// time window [from, to], restricted to series whose labels superset-match
+// sel. Each node's cumulative _bucket counters are reduced to their
+// windowed deltas per upper bound, summed across nodes, and fed to the
+// histogram_quantile estimator — the merged-scrape analogue of
+// rate(bucket[w]) quantiles. NaN with no observations in the window.
+func (st *Store) HistogramQuantile(q float64, name string, sel metrics.Labels, from, to float64) float64 {
+	perLE := make(map[float64]float64)
+	for _, s := range st.Select(name+"_bucket", sel) {
+		le, ok := s.Labels["le"]
+		if !ok {
+			continue
+		}
+		ub := math.Inf(1)
+		if le != "+Inf" {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			ub = v
+		}
+		perLE[ub] += Delta(s.Points, from, to)
+	}
+	if len(perLE) == 0 {
+		return math.NaN()
+	}
+	buckets := make([]metrics.Bucket, 0, len(perLE))
+	for ub, c := range perLE {
+		buckets = append(buckets, metrics.Bucket{UpperBound: ub, CumulativeCount: c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].UpperBound < buckets[j].UpperBound })
+	return metrics.HistogramQuantile(q, buckets)
+}
+
+// WindowedCount is the number of observations histogram name{sel} recorded
+// in [from, to], summed across superset-matching series (the _count delta).
+func (st *Store) WindowedCount(name string, sel metrics.Labels, from, to float64) float64 {
+	var total float64
+	for _, s := range st.Select(name+"_count", sel) {
+		total += Delta(s.Points, from, to)
+	}
+	return total
+}

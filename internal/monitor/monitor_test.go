@@ -1,0 +1,255 @@
+package monitor_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"sweb/internal/metrics"
+	"sweb/internal/monitor"
+)
+
+func pts(vals ...float64) []monitor.Point {
+	out := make([]monitor.Point, len(vals)/2)
+	for i := range out {
+		out[i] = monitor.Point{T: vals[2*i], V: vals[2*i+1]}
+	}
+	return out
+}
+
+func TestDeltaAcrossCounterReset(t *testing.T) {
+	// 100→110 (+10), restart zeroes the counter, 5 means +5 post-reset,
+	// then 5→25 (+20): increase() convention says 35 total.
+	series := pts(0, 100, 10, 110, 20, 5, 30, 25)
+	if d := monitor.Delta(series, 0, 30); d != 35 {
+		t.Fatalf("Delta = %v, want 35", d)
+	}
+	if r := monitor.Rate(series, 0, 30); math.Abs(r-35.0/30) > 1e-12 {
+		t.Fatalf("Rate = %v, want %v", r, 35.0/30)
+	}
+}
+
+func TestDeltaUsesBaselineBeforeWindow(t *testing.T) {
+	// The last point at-or-before `from` anchors the delta; without it a
+	// window that opens between scrapes would undercount.
+	series := pts(0, 0, 10, 100)
+	if d := monitor.Delta(series, 5, 10); d != 100 {
+		t.Fatalf("Delta = %v, want 100", d)
+	}
+	if d := monitor.Delta(series, 10, 20); d != 0 {
+		t.Fatalf("Delta past the data = %v, want 0", d)
+	}
+}
+
+func TestDeltaEdgeCases(t *testing.T) {
+	if d := monitor.Delta(nil, 0, 10); d != 0 {
+		t.Fatalf("Delta(nil) = %v", d)
+	}
+	if d := monitor.Delta(pts(5, 42), 0, 10); d != 0 {
+		t.Fatalf("Delta(one point) = %v", d)
+	}
+	if r := monitor.Rate(pts(5, 1, 5, 2), 0, 10); r != 0 {
+		t.Fatalf("Rate over zero span = %v", r)
+	}
+}
+
+func TestDerivGoesNegative(t *testing.T) {
+	series := pts(0, 10, 10, 0)
+	if d := monitor.Deriv(series, 0, 10); d != -1 {
+		t.Fatalf("Deriv = %v, want -1", d)
+	}
+}
+
+func TestWindowedHistogramQuantileMergesNodes(t *testing.T) {
+	st := monitor.NewStore(0)
+	// Two nodes' cumulative buckets; windowed deltas: node a contributes
+	// 10 observations ≤1, node b contributes 10 observations in (1,+Inf].
+	for _, n := range []struct {
+		node     string
+		le1, inf []float64 // value at t=0 and t=10
+	}{
+		{"a", []float64{0, 10}, []float64{0, 10}},
+		{"b", []float64{0, 0}, []float64{0, 10}},
+	} {
+		for i, tt := range []float64{0, 10} {
+			st.Append("sweb_phase_seconds_bucket",
+				metrics.Labels{"node": n.node, "phase": "parse", "le": "1"}, tt, n.le1[i])
+			st.Append("sweb_phase_seconds_bucket",
+				metrics.Labels{"node": n.node, "phase": "parse", "le": "+Inf"}, tt, n.inf[i])
+			st.Append("sweb_phase_seconds_count",
+				metrics.Labels{"node": n.node, "phase": "parse"}, tt, n.inf[i])
+		}
+	}
+	sel := metrics.Labels{"phase": "parse"}
+	if c := st.WindowedCount("sweb_phase_seconds", sel, 0, 10); c != 20 {
+		t.Fatalf("WindowedCount = %v, want 20", c)
+	}
+	q25 := st.HistogramQuantile(0.25, "sweb_phase_seconds", sel, 0, 10)
+	if math.IsNaN(q25) || q25 <= 0 || q25 > 1 {
+		t.Fatalf("q25 = %v, want within (0, 1]", q25)
+	}
+	q90 := st.HistogramQuantile(0.9, "sweb_phase_seconds", sel, 0, 10)
+	if math.IsNaN(q90) || q90 < 1 {
+		t.Fatalf("q90 = %v, want >= 1 (upper bucket)", q90)
+	}
+	// An empty window has no observations: NaN, not zero.
+	if q := st.HistogramQuantile(0.5, "sweb_phase_seconds", sel, 20, 30); !math.IsNaN(q) {
+		t.Fatalf("quantile over empty window = %v, want NaN", q)
+	}
+}
+
+// TestHysteresisNoFlapping drives a custom rule through the state machine:
+// For=2 consecutive breaches to fire, threshold chatter must not flap it,
+// and clearing needs For consecutive rounds below Clear (= Fire × 0.7).
+func TestHysteresisNoFlapping(t *testing.T) {
+	var val float64
+	rule := monitor.Rule{
+		Name: "sig", Fire: 10, Clear: 7, For: 2,
+		Eval: func(v *monitor.View) map[string]float64 {
+			return map[string]float64{"n0": val}
+		},
+	}
+	m := monitor.New(monitor.Config{ExtraRules: []monitor.Rule{rule}})
+
+	step := func(now, v float64) bool {
+		val = v
+		m.Collect(now)
+		return m.AlertFiring("sig", "n0")
+	}
+
+	// Chatter around the fire threshold never accumulates two in a row.
+	for i, v := range []float64{12, 6, 12, 6, 12, 6} {
+		if step(float64(i), v) {
+			t.Fatalf("rule fired while flapping at round %d", i)
+		}
+	}
+	// Two consecutive breaches fire it.
+	if step(10, 12) {
+		t.Fatal("fired after a single breach")
+	}
+	if !step(11, 12) {
+		t.Fatal("did not fire after two consecutive breaches")
+	}
+	// In the hysteresis band (Clear <= v < Fire) it stays firing forever.
+	for i := 0; i < 5; i++ {
+		if !step(12+float64(i), 8) {
+			t.Fatal("cleared inside the hysteresis band")
+		}
+	}
+	// One good round is not enough...
+	if !step(20, 5) {
+		t.Fatal("cleared after a single good round")
+	}
+	// ...a relapse resets the clear streak...
+	if !step(21, 8) {
+		t.Fatal("cleared after a relapse")
+	}
+	if !step(22, 5) {
+		t.Fatal("cleared after one good round post-relapse")
+	}
+	// ...and two consecutive good rounds finally clear it.
+	if step(23, 5) {
+		t.Fatal("still firing after two consecutive good rounds")
+	}
+	// The alert state was exported into the store on every round.
+	alertPts := m.Store().Points("sweb_monitor_alert", metrics.Labels{"rule": "sig", "node": "n0"})
+	if len(alertPts) == 0 {
+		t.Fatal("no sweb_monitor_alert series")
+	}
+	var sawFiring bool
+	for _, p := range alertPts {
+		if p.V == 1 {
+			sawFiring = true
+		}
+	}
+	if !sawFiring || alertPts[len(alertPts)-1].V != 0 {
+		t.Fatalf("alert metric history wrong: %+v", alertPts)
+	}
+}
+
+// TestNodeDownRule feeds the monitor a source that starts failing and
+// checks the default node_down rule fires and clears with hysteresis.
+func TestNodeDownRule(t *testing.T) {
+	healthy := true
+	m := monitor.New(monitor.Config{Rules: monitor.RuleConfig{ForSamples: 2}})
+	m.AddSource(&monitor.FuncSource{Name: "n0", Fn: func() ([]metrics.Sample, error) {
+		if !healthy {
+			return nil, errors.New("down")
+		}
+		return []metrics.Sample{{Name: "sweb_inflight", Value: 1}}, nil
+	}})
+	m.Collect(1)
+	m.Collect(2)
+	if m.AlertFiring("node_down", "n0") {
+		t.Fatal("node_down firing while healthy")
+	}
+	healthy = false
+	m.Collect(3)
+	if m.AlertFiring("node_down", "n0") {
+		t.Fatal("node_down fired after one failed scrape")
+	}
+	m.Collect(4)
+	if !m.AlertFiring("node_down", "n0") {
+		t.Fatal("node_down did not fire after two failed scrapes")
+	}
+	if alerts := m.Alerts(); len(alerts) != 1 || alerts[0].Rule != "node_down" {
+		t.Fatalf("Alerts() = %+v", alerts)
+	}
+	healthy = true
+	m.Collect(5)
+	m.Collect(6)
+	if m.AlertFiring("node_down", "n0") {
+		t.Fatal("node_down did not clear after recovery")
+	}
+}
+
+func TestStoreRingBounds(t *testing.T) {
+	st := monitor.NewStore(4)
+	for i := 0; i < 10; i++ {
+		st.Append("m", nil, float64(i), float64(i))
+	}
+	got := st.Points("m", nil)
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d points, want 4", len(got))
+	}
+	for i, p := range got {
+		if want := float64(6 + i); p.T != want {
+			t.Fatalf("point %d at t=%v, want %v (oldest-first)", i, p.T, want)
+		}
+	}
+}
+
+func TestStoreSelectSupersetAndExport(t *testing.T) {
+	st := monitor.NewStore(0)
+	st.Append("x", metrics.Labels{"node": "0", "phase": "parse"}, 1, 2)
+	st.Append("x", metrics.Labels{"node": "1", "phase": "parse"}, 1, 3)
+	st.Append("x", metrics.Labels{"node": "1", "phase": "cgi"}, 1, 4)
+	st.Append("y", metrics.Labels{"node": "1"}, 1, 5)
+	if got := st.Select("x", metrics.Labels{"phase": "parse"}); len(got) != 2 {
+		t.Fatalf("Select matched %d series, want 2", len(got))
+	}
+	if got := st.Select("x", nil); len(got) != 3 {
+		t.Fatalf("Select(nil) matched %d series, want 3", len(got))
+	}
+	var csv strings.Builder
+	if err := st.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "series,t,v" || len(lines) != 5 {
+		t.Fatalf("CSV:\n%s", csv.String())
+	}
+	var js strings.Builder
+	if err := st.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []monitor.Series
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("JSON has %d series, want 4", len(decoded))
+	}
+}

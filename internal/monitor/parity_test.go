@@ -1,0 +1,197 @@
+package monitor_test
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sweb/internal/des"
+	"sweb/internal/live"
+	"sweb/internal/monitor"
+	"sweb/internal/simsrv"
+	"sweb/internal/storage"
+	"sweb/internal/workload"
+)
+
+// coreFamilies are the sweb_* metric families both substrates must
+// publish for one monitor pipeline to serve them interchangeably.
+var coreFamilies = []string{
+	"sweb_inflight",
+	"sweb_capacity",
+	"sweb_disk_active",
+	"sweb_net_active",
+	"sweb_bytes_out_total",
+	"sweb_events_total",
+	"sweb_phase_seconds_bucket",
+	"sweb_phase_seconds_count",
+	"sweb_phase_seconds_sum",
+	"sweb_response_seconds_count",
+	"sweb_loadd_broadcast_age_seconds",
+	"sweb_loadd_advertised_load",
+}
+
+// runSimMonitored drives a simulated burst with a monitor collecting on
+// virtual time and returns the monitor.
+func runSimMonitored(t *testing.T) *monitor.Monitor {
+	t.Helper()
+	st := storage.NewStore(3)
+	paths := storage.UniformSet(st, 12, 32*1024)
+	cfg := simsrv.MeikoConfig(3, st)
+	cl, err := simsrv.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(monitor.Config{Window: 5})
+	for i := 0; i < cl.Nodes(); i++ {
+		i := i
+		mon.AddSource(&monitor.RegistrySource{
+			Name:     strconv.Itoa(i),
+			Registry: cl.Registry(i),
+			Up:       func() bool { return cl.NodeUp(i) },
+		})
+	}
+	cl.Every(des.Second, func() { mon.Collect(cl.Sim.Now().ToSeconds()) })
+	burst := workload.Burst{RPS: 20, DurationSeconds: 5, Jitter: true}
+	arr, err := burst.Generate(workload.UniformPicker(paths), nil, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.RunSchedule(arr)
+	if res.Completed == 0 {
+		t.Fatal("simulated burst completed nothing")
+	}
+	return mon
+}
+
+// runLiveMonitored drives a short live run with the cluster-owned monitor
+// and returns it (stopped, still readable).
+func runLiveMonitored(t *testing.T) *monitor.Monitor {
+	t.Helper()
+	st := storage.NewStore(2)
+	paths := storage.UniformSet(st, 8, 4096)
+	cl, err := live.Start(live.Options{
+		Nodes: 2, Store: st, BaseDir: t.TempDir(), Policy: "sweb",
+		LoaddPeriod: 50 * time.Millisecond,
+		Seed:        21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mon := cl.StartMonitor(monitor.Config{Window: 2}, 50*time.Millisecond)
+	client := cl.NewClient()
+	for round := 0; round < 3; round++ {
+		for _, p := range paths {
+			if res, err := client.Get(p); err != nil || res.Status != 200 {
+				t.Fatalf("get %s: res=%+v err=%v", p, res, err)
+			}
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	waitRounds := time.Now().Add(5 * time.Second)
+	for mon.Rounds() < 3 && time.Now().Before(waitRounds) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	cl.StopMonitor()
+	return mon
+}
+
+// TestSimLiveMetricsParity is the acceptance criterion: the same monitor
+// code renders a load/redirect-rate timeline and a Table 4/5-style
+// snapshot from a simulator run and from a live cluster run, with the
+// core sweb_* families present in both stores.
+func TestSimLiveMetricsParity(t *testing.T) {
+	simMon := runSimMonitored(t)
+	liveMon := runLiveMonitored(t)
+
+	for _, mon := range []*monitor.Monitor{simMon, liveMon} {
+		names := mon.Store().Names()
+		have := make(map[string]bool, len(names))
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, fam := range coreFamilies {
+			if !have[fam] {
+				t.Errorf("store %p missing family %s (has %v)", mon, fam, names)
+			}
+		}
+	}
+
+	// One report pipeline, two substrates: both must produce a non-empty
+	// timeline CSV with identical headers and a renderable snapshot.
+	var headers, bodies []string
+	for _, mon := range []*monitor.Monitor{simMon, liveMon} {
+		var b strings.Builder
+		if err := mon.WriteTimelineCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("timeline CSV has no data rows:\n%s", b.String())
+		}
+		headers = append(headers, lines[0])
+		bodies = append(bodies, b.String())
+
+		snap := mon.Snapshot()
+		if len(snap.Nodes) == 0 {
+			t.Fatal("snapshot has no node rows")
+		}
+		out := monitor.RenderSnapshot(snap)
+		if !strings.Contains(out, "Nodes") || !strings.Contains(out, "req/s") {
+			t.Fatalf("rendered snapshot missing node table:\n%s", out)
+		}
+	}
+	if headers[0] != headers[1] {
+		t.Fatalf("timeline headers differ:\nsim:  %s\nlive: %s", headers[0], headers[1])
+	}
+
+	// The sim side must have seen real traffic through the same families
+	// the live scraper fills: a positive windowed request rate somewhere.
+	rows := simMon.Timeline()
+	var sawReq bool
+	for _, r := range rows {
+		if r.ReqRate > 0 {
+			sawReq = true
+		}
+	}
+	if !sawReq {
+		t.Fatal("simulated timeline never saw a positive request rate")
+	}
+
+	// Phase parity: both substrates fill sweb_phase_seconds with cells
+	// drawn from the same vocabulary.
+	simPhases := phaseSet(simMon)
+	livePhases := phaseSet(liveMon)
+	if len(simPhases) == 0 || len(livePhases) == 0 {
+		t.Fatalf("phase cells empty: sim=%v live=%v", simPhases, livePhases)
+	}
+	known := map[string]bool{
+		"parse": true, "analyze": true, "redirect": true, "redirect_hop": true,
+		"fetch_local": true, "fetch_nfs": true, "cgi": true,
+	}
+	for _, set := range []([]string){simPhases, livePhases} {
+		for _, ph := range set {
+			if !known[ph] {
+				t.Errorf("unknown phase cell %q", ph)
+			}
+		}
+	}
+}
+
+func phaseSet(mon *monitor.Monitor) []string {
+	seen := make(map[string]bool)
+	for _, s := range mon.Store().Select("sweb_phase_seconds_count", nil) {
+		if ph := s.Labels["phase"]; ph != "" {
+			seen[ph] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for ph := range seen {
+		out = append(out, ph)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"sweb/internal/httpmsg"
+	"sweb/internal/metrics"
+)
+
+// Source is one node's metrics feed. Scrape returns the node's current
+// sample set, or an error when the node is unreachable — the monitor
+// records the failure as sweb_monitor_up 0 and keeps the last good data.
+type Source interface {
+	Node() string
+	Scrape() ([]metrics.Sample, error)
+}
+
+// RegistrySource scrapes an in-process Registry — the simulator path. The
+// registry's text exposition is rendered and re-parsed rather than read
+// directly so both substrates exercise the identical WriteText→ParseText
+// pipeline the live scraper uses.
+type RegistrySource struct {
+	Name     string
+	Registry *metrics.Registry
+	// Up, when set, gates the scrape: false models an unreachable node
+	// (the simulator's killed-node analogue of a refused TCP dial).
+	Up func() bool
+}
+
+func (s *RegistrySource) Node() string { return s.Name }
+
+func (s *RegistrySource) Scrape() ([]metrics.Sample, error) {
+	if s.Up != nil && !s.Up() {
+		return nil, fmt.Errorf("monitor: node %s down", s.Name)
+	}
+	var b strings.Builder
+	if err := s.Registry.WriteText(&b); err != nil {
+		return nil, err
+	}
+	return metrics.ParseText(strings.NewReader(b.String()))
+}
+
+// HTTPSource scrapes a live node's /sweb/metrics endpoint over a raw TCP
+// dial, using the repo's own httpmsg reader rather than net/http — same
+// wire format the introspection server speaks.
+type HTTPSource struct {
+	Name    string
+	Addr    string
+	Timeout time.Duration // default 5s
+	Path    string        // default /sweb/metrics
+}
+
+func (s *HTTPSource) Node() string { return s.Name }
+
+func (s *HTTPSource) Scrape() ([]metrics.Sample, error) {
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	path := s.Path
+	if path == "" {
+		path = "/sweb/metrics"
+	}
+	conn, err := net.DialTimeout("tcp", s.Addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n", path, s.Addr); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := httpmsg.ReadResponse(br, 8<<20)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("monitor: scrape %s: HTTP %d", s.Addr, resp.StatusCode)
+	}
+	return metrics.ParseText(strings.NewReader(string(resp.Body)))
+}
+
+// FuncSource adapts a closure — handy for tests and synthetic feeds.
+type FuncSource struct {
+	Name string
+	Fn   func() ([]metrics.Sample, error)
+}
+
+func (s *FuncSource) Node() string                      { return s.Name }
+func (s *FuncSource) Scrape() ([]metrics.Sample, error) { return s.Fn() }

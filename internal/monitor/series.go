@@ -1,0 +1,226 @@
+// Package monitor is the cluster-wide continuous-observation layer: a
+// dependency-free in-process time-series store fed by scraping every
+// node's sweb_* exposition (live nodes over HTTP, simulated nodes straight
+// from their virtual-time registries), derived signals (rates, deltas,
+// windowed quantiles), and an alert-rule engine with hysteresis for the
+// overload and imbalance conditions the paper's scheduler exists to
+// prevent. One pipeline renders the same load/redirect-rate timelines and
+// Table 4/5-style snapshots from either substrate.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"sweb/internal/metrics"
+)
+
+// Point is one timestamped sample. T is seconds on the feeding substrate's
+// clock — wall seconds since the cluster epoch for live scrapes, virtual
+// seconds for the simulator.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is one exported {metric, labels} stream, points oldest first.
+type Series struct {
+	Name   string         `json:"name"`
+	Labels metrics.Labels `json:"labels,omitempty"`
+	Points []Point        `json:"points"`
+}
+
+// series is the internal bounded ring behind one Series.
+type series struct {
+	name   string
+	labels metrics.Labels
+	ring   []Point
+	next   int
+	full   bool
+}
+
+func (s *series) append(p Point) {
+	s.ring[s.next] = p
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+}
+
+// points returns the retained window, oldest first.
+func (s *series) points() []Point {
+	if !s.full {
+		return append([]Point(nil), s.ring[:s.next]...)
+	}
+	out := make([]Point, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	return append(out, s.ring[:s.next]...)
+}
+
+// DefaultCapacity bounds each series ring: at a 1-2s collect cadence it
+// retains tens of minutes, enough for every windowed signal the rules and
+// reports derive, at a few KB per series.
+const DefaultCapacity = 1024
+
+// Store holds bounded time-series keyed by {metric name, labels}. All
+// methods are safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	byKey    map[string]*series
+	order    []string
+}
+
+// NewStore returns an empty store with the given per-series ring capacity
+// (<= 0: DefaultCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{capacity: capacity, byKey: make(map[string]*series)}
+}
+
+// Append records value v for the series name{labels} at time t. Labels are
+// copied; the caller may reuse the map.
+func (st *Store) Append(name string, labels metrics.Labels, t, v float64) {
+	key := metrics.Sample{Name: name, Labels: labels}.Key()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.byKey[key]
+	if s == nil {
+		var cp metrics.Labels
+		if len(labels) > 0 {
+			cp = make(metrics.Labels, len(labels))
+			for k, lv := range labels {
+				cp[k] = lv
+			}
+		}
+		s = &series{name: name, labels: cp, ring: make([]Point, st.capacity)}
+		st.byKey[key] = s
+		st.order = append(st.order, key)
+	}
+	s.append(Point{T: t, V: v})
+}
+
+// AppendSamples records one node's scrape at time t, tagging every sample
+// with a node label so per-node streams stay distinct after merging.
+func (st *Store) AppendSamples(node string, t float64, samples []metrics.Sample) {
+	for _, smp := range samples {
+		labels := make(metrics.Labels, len(smp.Labels)+1)
+		for k, v := range smp.Labels {
+			labels[k] = v
+		}
+		labels["node"] = node
+		st.Append(smp.Name, labels, t, smp.Value)
+	}
+}
+
+// Points returns the retained points of the exactly matching series,
+// oldest first (nil when absent).
+func (st *Store) Points(name string, labels metrics.Labels) []Point {
+	key := metrics.Sample{Name: name, Labels: labels}.Key()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.byKey[key]
+	if s == nil {
+		return nil
+	}
+	return s.points()
+}
+
+// Select returns every series with the given name whose labels are a
+// superset of sel, sorted by key for determinism.
+func (st *Store) Select(name string, sel metrics.Labels) []Series {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keys := append([]string(nil), st.order...)
+	sort.Strings(keys)
+	var out []Series
+	for _, key := range keys {
+		s := st.byKey[key]
+		if s.name != name {
+			continue
+		}
+		match := true
+		for k, v := range sel {
+			if s.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		out = append(out, Series{Name: s.name, Labels: s.labels, Points: s.points()})
+	}
+	return out
+}
+
+// SeriesCount reports how many distinct series the store holds.
+func (st *Store) SeriesCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byKey)
+}
+
+// Names returns the distinct metric names present, sorted.
+func (st *Store) Names() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, s := range st.byKey {
+		seen[s.name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// all snapshots every series sorted by key.
+func (st *Store) all() []Series {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keys := append([]string(nil), st.order...)
+	sort.Strings(keys)
+	out := make([]Series, 0, len(keys))
+	for _, key := range keys {
+		s := st.byKey[key]
+		out = append(out, Series{Name: s.name, Labels: s.labels, Points: s.points()})
+	}
+	return out
+}
+
+// WriteCSV exports every series in long form: series,t,v — one row per
+// point, series rendered as the canonical sample key.
+func (st *Store) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "series,t,v\n"); err != nil {
+		return err
+	}
+	for _, s := range st.all() {
+		key := metrics.Sample{Name: s.Name, Labels: s.Labels}.Key()
+		// The key can contain commas inside label lists; quote it so the
+		// CSV stays parseable.
+		quoted := `"` + strings.ReplaceAll(key, `"`, `""`) + `"`
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", quoted, p.T, p.V); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON exports every series as a JSON array of Series documents.
+func (st *Store) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st.all())
+}

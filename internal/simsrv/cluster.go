@@ -29,6 +29,7 @@ type Cluster struct {
 
 	inflight []int  // admitted, not yet finished server-side, per node
 	up       []bool // node in the resource pool
+	nm       []*simMetrics
 
 	res            *stats.RunResult
 	outstanding    int64
@@ -90,6 +91,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < n; i++ {
 		c.tables = append(c.tables, loadd.NewTable(i, cfg.LoaddTimeout, c.cfg.Params.Delta))
+	}
+	// Per-node registries mirror the live /sweb/metrics families; they need
+	// the tables in place for the gossip gauges.
+	for i := 0; i < n; i++ {
+		c.nm = append(c.nm, newSimMetrics(c, i))
 	}
 	// Warm the tables (the daemons were already running before the test
 	// bursts start) and kick off the periodic broadcasts, staggered so

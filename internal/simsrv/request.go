@@ -2,6 +2,7 @@ package simsrv
 
 import (
 	"fmt"
+	"math"
 
 	"sweb/internal/core"
 	"sweb/internal/des"
@@ -26,6 +27,10 @@ type request struct {
 	servedBy  int
 	tid       int64 // trace request id (-1 when tracing is off)
 	ph        stats.PhaseBreakdown
+
+	fetchPhase string  // phase-histogram cell the fulfill path lands in
+	predicted  float64 // broker's t_s estimate for serving here
+	hasPred    bool
 }
 
 const errorResponseBytes = 512 // a 404 body plus headers
@@ -41,17 +46,23 @@ func (c *Cluster) arrive(rs *request, x int) {
 	}
 	if c.inflight[x] >= c.cfg.Specs[x].AcceptQueue {
 		c.trace(rs, trace.EvRefused, x, "accept capacity")
+		c.nm[x].event(trace.EvRefused)
+		c.nm[x].drop("refused")
 		c.drop(rs, stats.DropRefused)
 		return
 	}
 	c.inflight[x]++
 	c.trace(rs, trace.EvConnected, x, "")
+	c.nm[x].event(trace.EvConnected)
 	rs.mark = c.Sim.Now()
 	// "The server parses the HTTP commands, and completes the pathname
 	// given, determining appropriate permissions along the way."
 	c.nodes[x].CPUWork(model.ActParse, c.cfg.PreprocessOps, func() {
-		rs.ph.Preprocess += (c.Sim.Now() - rs.mark).ToSeconds()
+		d := (c.Sim.Now() - rs.mark).ToSeconds()
+		rs.ph.Preprocess += d
 		c.trace(rs, trace.EvParsed, x, "")
+		c.nm[x].event(trace.EvParsed)
+		c.nm[x].phase("parse", d)
 		c.analyze(rs, x)
 	})
 }
@@ -60,7 +71,9 @@ func (c *Cluster) arrive(rs *request, x int) {
 func (c *Cluster) analyze(rs *request, x int) {
 	rs.mark = c.Sim.Now()
 	c.nodes[x].CPUWork(model.ActSchedule, c.cfg.AnalysisOps, func() {
-		rs.ph.Analysis += (c.Sim.Now() - rs.mark).ToSeconds()
+		d := (c.Sim.Now() - rs.mark).ToSeconds()
+		rs.ph.Analysis += d
+		c.nm[x].phase("analyze", d)
 		c.decide(rs, x)
 	})
 }
@@ -99,17 +112,24 @@ func (c *Cluster) decide(rs *request, x int) {
 	loads := c.tables[x].Snapshot(len(c.nodes), c.nowSec())
 	loads[x] = c.liveRow(x) // a node knows its own load precisely
 	var target int
+	est := math.NaN()
 	if c.cfg.Dispatcher && x == 0 && rs.redirects == 0 && !req.PinnedLocal {
 		target = c.dispatcherChoose(req, loads)
 	} else {
 		dec := c.policy.Choose(req, x, loads)
 		target = dec.Target
+		est = dec.Estimate
 	}
 	if target < 0 || target >= len(c.nodes) {
 		target = x
 	}
 	c.trace(rs, trace.EvAnalyzed, x, fmt.Sprintf("target=%d", target))
+	c.nm[x].event(trace.EvAnalyzed)
 	if target == x {
+		if !math.IsNaN(est) && !math.IsInf(est, 0) {
+			rs.predicted = est
+			rs.hasPred = true
+		}
 		c.fulfill(rs, x)
 		return
 	}
@@ -120,6 +140,7 @@ func (c *Cluster) decide(rs *request, x int) {
 		// double handling (the cost the paper avoided with redirection).
 		c.tables[x].Bump(target)
 		c.trace(rs, trace.EvForwarded, x, fmt.Sprintf("to=%d", target))
+		c.nm[x].event(trace.EvForwarded)
 		rs.mark = c.Sim.Now()
 		c.nodes[x].CPUWork(model.ActSchedule, c.cfg.RedirectOps, func() {
 			rs.redirects++
@@ -127,6 +148,7 @@ func (c *Cluster) decide(rs *request, x int) {
 				// Forwarding has no second chance: the relay fails.
 				c.inflight[x]--
 				c.trace(rs, trace.EvRefused, target, "forward target down")
+				c.nm[x].drop("unavailable")
 				c.drop(rs, stats.DropUnavailable)
 				return
 			}
@@ -144,12 +166,21 @@ func (c *Cluster) decide(rs *request, x int) {
 	c.nodes[x].CPUWork(model.ActSchedule, c.cfg.RedirectOps, func() {
 		c.inflight[x]--
 		rs.redirects++
+		c.nm[x].event(trace.EvRedirected)
+		c.nm[x].redirect(target)
+		c.nm[x].phase("redirect", (c.Sim.Now() - rs.mark).ToSeconds())
 		// "Twice the estimated latency of the connection between the
 		// server and the client plus the time for a server to set up a
 		// connection."
 		travel := 2*c.cfg.Client.LatencyOneWay + des.Seconds(c.cfg.Params.ConnectSeconds)
+		hopFrom := c.Sim.Now()
 		c.Sim.After(travel, func() {
 			rs.ph.Redirect += (c.Sim.Now() - rs.mark).ToSeconds()
+			if c.up[target] {
+				// The hop is measured where the redirected connection
+				// lands, matching the live redirect_hop cell.
+				c.nm[target].phase("redirect_hop", (c.Sim.Now() - hopFrom).ToSeconds())
+			}
 			c.arrive(rs, target)
 		})
 	})
@@ -197,6 +228,8 @@ func (c *Cluster) fulfillForwarded(rs *request, x, y int) {
 	if c.inflight[y] >= c.cfg.Specs[y].AcceptQueue {
 		c.inflight[x]--
 		c.trace(rs, trace.EvRefused, y, "forward target full")
+		c.nm[y].event(trace.EvRefused)
+		c.nm[y].drop("refused")
 		c.drop(rs, stats.DropRefused)
 		return
 	}
@@ -250,6 +283,7 @@ func (c *Cluster) fulfillForwarded(rs *request, x, y int) {
 			worker.CPUWork(model.ActFulfill, rs.demand.OpsPerByte*float64(chunk), func() {
 				c.net.InternalTransfer(y, x, chunk, func() {
 					proxy.CPUWork(model.ActFulfill, relayOpsPerByte*float64(chunk), func() {
+						c.nm[x].bytesOut += chunk
 						c.net.ClientTransfer(x, c.cfg.Client, chunk,
 							func() {
 								if last {
@@ -284,6 +318,7 @@ func (c *Cluster) fulfill(rs *request, x int) {
 	node := c.nodes[x]
 	if !rs.found {
 		// 404: a small generated body, no disk involved.
+		c.nm[x].drop("not_found")
 		rs.mark = c.Sim.Now()
 		node.CPUWork(model.ActFulfill, rs.demand.BaseOps+float64(errorResponseBytes)*rs.demand.OpsPerByte, func() {
 			c.sendOnly(rs, x, errorResponseBytes)
@@ -294,6 +329,8 @@ func (c *Cluster) fulfill(rs *request, x int) {
 	rs.mark = c.Sim.Now()
 	if f.CGI {
 		c.trace(rs, trace.EvCGI, x, "")
+		c.nm[x].event(trace.EvCGI)
+		rs.fetchPhase = "cgi"
 		// CGI: fork + compute, then stream the generated result (no
 		// static file fetch).
 		node.CPUWork(model.ActFulfill, rs.demand.BaseOps, func() {
@@ -323,6 +360,7 @@ func (c *Cluster) sendOnly(rs *request, x int, size int64) {
 		}
 		last := off+chunk >= size
 		node.CPUWork(model.ActFulfill, rs.demand.OpsPerByte*float64(chunk), func() {
+			c.nm[x].bytesOut += chunk
 			c.net.ClientTransfer(x, c.cfg.Client, chunk,
 				func() {
 					if last {
@@ -367,8 +405,12 @@ func (c *Cluster) streamFile(rs *request, x int) {
 
 	if remote && !cachedHere {
 		c.trace(rs, trace.EvFetchNFS, x, fmt.Sprintf("owner=%d", f.Owner))
+		c.nm[x].event(trace.EvFetchNFS)
+		rs.fetchPhase = "fetch_nfs"
 	} else {
 		c.trace(rs, trace.EvFetchLocal, x, "")
+		c.nm[x].event(trace.EvFetchLocal)
+		rs.fetchPhase = "fetch_local"
 	}
 	// fetch obtains one chunk into local memory, then calls then().
 	fetch := func(chunk int64, then func()) {
@@ -420,6 +462,7 @@ func (c *Cluster) streamFile(rs *request, x int) {
 				}
 			}
 			node.CPUWork(model.ActFulfill, rs.demand.OpsPerByte*float64(chunk), func() {
+				c.nm[x].bytesOut += chunk
 				c.net.ClientTransfer(x, c.cfg.Client, chunk,
 					func() {
 						if last {
@@ -447,9 +490,19 @@ func (c *Cluster) streamFile(rs *request, x int) {
 // finishServerSide releases the handler slot once the last byte has left
 // the server site; the tail of the transfer is pure network drain.
 func (c *Cluster) finishServerSide(rs *request, x int, release func()) {
-	rs.ph.Transfer += (c.Sim.Now() - rs.mark).ToSeconds()
+	served := (c.Sim.Now() - rs.mark).ToSeconds()
+	rs.ph.Transfer += served
 	rs.mark = c.Sim.Now()
 	c.trace(rs, trace.EvSent, x, "")
+	c.nm[x].event(trace.EvSent)
+	if rs.fetchPhase != "" {
+		c.nm[x].phase(rs.fetchPhase, served)
+	}
+	if rs.hasPred {
+		// Actual t_s is the server-side portion of the lifecycle; the
+		// client-network drain the broker never modelled stays out.
+		c.nm[x].predictionTotal(rs.predicted, rs.ph.Preprocess+rs.ph.Analysis+rs.ph.Transfer)
+	}
 	release()
 	c.inflight[x]--
 }
@@ -462,9 +515,11 @@ func (c *Cluster) complete(rs *request) {
 	c.lastDone = c.Sim.Now()
 	if resp > c.cfg.ClientTimeout.ToSeconds() {
 		c.trace(rs, trace.EvTimedOut, rs.servedBy, "")
+		c.nm[rs.servedBy].drop("timeout")
 		c.res.RecordDrop(stats.DropTimeout)
 		return
 	}
 	c.trace(rs, trace.EvDelivered, rs.servedBy, "")
+	c.nm[rs.servedBy].response.Observe(resp)
 	c.res.RecordSuccess(resp, rs.servedBy, rs.redirects > 0, rs.ph)
 }
