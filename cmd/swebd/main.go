@@ -56,6 +56,8 @@ func run() error {
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint stamped on degraded 503 responses")
 	failLimit := flag.Int("fail-limit", 3, "consecutive data-path failures before a peer is scheduled around")
 	loaddTimeout := flag.Duration("loadd-timeout", 8*time.Second, "peer broadcast silence before it is considered unavailable")
+	cacheBytes := flag.Int64("cache-bytes", httpd.DefaultCacheBytes, "hot-file cache capacity in bytes")
+	cacheOff := flag.Bool("cache-off", false, "disable the hot-file cache (every request pays the disk or the owner fetch)")
 	metricsOn := flag.Bool("metrics", true, "serve /sweb/status and /sweb/metrics on the HTTP listener")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty disables)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) JSON of this node's spans here on shutdown (enables tracing)")
@@ -112,6 +114,8 @@ func run() error {
 		RetryAfterHint: *retryAfter,
 		FailureLimit:   *failLimit,
 		LoaddTimeout:   *loaddTimeout,
+		CacheBytes:     *cacheBytes,
+		CacheOff:       *cacheOff,
 
 		DisableIntrospection: !*metricsOn,
 	}

@@ -35,10 +35,12 @@ func main() {
 	format := flag.String("format", "text", "output format: text, md, csv")
 	traceOut := flag.String("trace-out", "", "also run a small traced Meiko burst and write its Chrome trace-event (Perfetto) JSON here")
 	monitorCSV := flag.String("monitor-csv", "", "run a monitored Meiko burst and write its load-over-time timeline CSV here")
+	cacheBytes := flag.Int64("cache-bytes", 0, "override every node's page-cache capacity in bytes for the demo runs (0: the spec default; matches swebd -cache-bytes)")
+	cacheOff := flag.Bool("cache-off", false, "zero every node's page cache for the demo runs (matches swebd -cache-off)")
 	flag.Parse()
 
 	if *traceOut != "" {
-		if err := exportDemoTrace(*traceOut, *seed); err != nil {
+		if err := exportDemoTrace(*traceOut, *seed, *cacheBytes, *cacheOff); err != nil {
 			fmt.Fprintln(os.Stderr, "swebsim:", err)
 			os.Exit(1)
 		}
@@ -49,7 +51,7 @@ func main() {
 	}
 
 	if *monitorCSV != "" {
-		if err := exportMonitorCSV(*monitorCSV, *seed); err != nil {
+		if err := exportMonitorCSV(*monitorCSV, *seed, *cacheBytes, *cacheOff); err != nil {
 			fmt.Fprintln(os.Stderr, "swebsim:", err)
 			os.Exit(1)
 		}
@@ -118,7 +120,7 @@ func main() {
 // exportDemoTrace runs a short traced Meiko burst — small enough to open
 // comfortably in the Perfetto UI, busy enough to show 302 hops as flow
 // arrows between node tracks — and writes the Chrome trace-event JSON.
-func exportDemoTrace(path string, seed int64) error {
+func exportDemoTrace(path string, seed, cacheBytes int64, cacheOff bool) error {
 	const nodes = 4
 	st := storage.NewStore(nodes)
 	paths := storage.UniformSet(st, 16, 64<<10)
@@ -126,6 +128,8 @@ func exportDemoTrace(path string, seed int64) error {
 	cfg := simsrv.MeikoConfig(nodes, st)
 	cfg.Seed = seed
 	cfg.Trace = rec
+	cfg.CacheBytes = cacheBytes
+	cfg.CacheOff = cacheOff
 	cl, err := simsrv.New(cfg)
 	if err != nil {
 		return err
@@ -150,12 +154,14 @@ func exportDemoTrace(path string, seed int64) error {
 // exportMonitorCSV runs the same demo-sized Meiko burst with a cluster
 // monitor collecting once per simulated second, then writes the
 // load-over-time timeline CSV — the simulated twin of `swebtop -csv`.
-func exportMonitorCSV(path string, seed int64) error {
+func exportMonitorCSV(path string, seed, cacheBytes int64, cacheOff bool) error {
 	const nodes = 4
 	st := storage.NewStore(nodes)
 	paths := storage.UniformSet(st, 16, 64<<10)
 	cfg := simsrv.MeikoConfig(nodes, st)
 	cfg.Seed = seed
+	cfg.CacheBytes = cacheBytes
+	cfg.CacheOff = cacheOff
 	cl, err := simsrv.New(cfg)
 	if err != nil {
 		return err

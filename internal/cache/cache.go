@@ -1,0 +1,295 @@
+// Package cache is the live substrate's hot-file memory cache: a
+// byte-capacity-bounded LRU of whole response bodies with singleflight
+// miss coalescing, standing in for the Unix buffer cache the paper credits
+// for SWEB's superlinear multi-node speedup. Its replacement semantics —
+// whole files only, refuse anything larger than the capacity, evict from
+// the LRU tail until the newcomer fits — deliberately mirror
+// internal/model.FileCache byte for byte, so a differential test can drive
+// both caches with one request sequence and demand identical hit, miss,
+// insert, and eviction streams. Unlike the simulator's size-only model,
+// entries here hold real bytes and carry a validator hook: a lookup
+// re-checks the entry against the backing truth (a stat for local files,
+// the manifest size for relayed ones) and treats a stale entry as a miss,
+// so a mutated document is never served from memory.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Event kinds emitted to the OnEvent hook; the same vocabulary the
+// simulator's model.FileCache emits, so differential tests compare streams
+// verbatim.
+const (
+	EvHit    = "hit"
+	EvMiss   = "miss"
+	EvInsert = "insert"
+	EvEvict  = "evict"
+)
+
+// Entry is one cached document: the full response body plus the
+// modification time it was read at (zero for bodies relayed from a remote
+// owner, whose mtime the fetching node never sees).
+type Entry struct {
+	Path    string
+	Body    []byte
+	ModTime time.Time
+}
+
+// Stats is a consistent snapshot of the cache counters.
+type Stats struct {
+	Hits               int64
+	Misses             int64
+	Evictions          int64
+	SingleflightShared int64
+	UsedBytes          int64
+	CapacityBytes      int64
+	Files              int
+}
+
+// HitRate returns the fraction of counted lookups that hit, or 0 if none.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	Entry
+	size int64
+}
+
+// flight is one in-progress fill; latecomers for the same path wait on
+// done instead of issuing their own backing read.
+type flight struct {
+	done chan struct{}
+	ent  Entry
+	err  error
+}
+
+// Cache is the hot-file LRU. All methods are safe for concurrent use.
+type Cache struct {
+	// OnEvent, when non-nil, observes every transition ("hit", "miss",
+	// "insert", "evict" with the affected path) under the cache lock, in
+	// the order they happen — the differential-test tap. Set it before
+	// the cache is shared; keep the callback cheap.
+	OnEvent func(kind, path string)
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+	flights  map[string]*flight
+
+	hits, misses, evictions, shared int64
+}
+
+// New returns an LRU cache holding at most capacity bytes. A zero or
+// negative capacity yields a cache that never stores anything (every
+// lookup misses, every insert is refused) — the -cache-off behaviour with
+// the wiring still in place.
+func New(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+func (c *Cache) emit(kind, path string) {
+	if c.OnEvent != nil {
+		c.OnEvent(kind, path)
+	}
+}
+
+// lookupLocked finds path, validates it, and moves it to the MRU position
+// on a valid hit. A stale entry is removed and reported as absent. counted
+// selects whether the hit/miss statistics (and OnEvent) see this lookup:
+// the client-facing serving path counts one lookup per request, exactly as
+// the simulator's Contains does, while internal probes stay quiet like the
+// simulator's Peek.
+func (c *Cache) lookupLocked(path string, check func(Entry) bool, counted bool) (Entry, bool) {
+	el, ok := c.entries[path]
+	if ok && check != nil && !check(el.Value.(*entry).Entry) {
+		c.removeLocked(el)
+		ok = false
+	}
+	if !ok {
+		if counted {
+			c.misses++
+			c.emit(EvMiss, path)
+		}
+		return Entry{}, false
+	}
+	if counted {
+		c.hits++
+		c.emit(EvHit, path)
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).Entry, true
+}
+
+// Lookup is the counted, validated lookup the serving path runs once per
+// request: a valid hit bumps the entry to most-recently-used and the hit
+// counter; anything else (absent, or invalidated by check) counts a miss.
+// check may be nil to accept any resident entry; it runs under the cache
+// lock so validation and invalidation are atomic — keep it to a stat.
+func (c *Cache) Lookup(path string, check func(Entry) bool) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupLocked(path, check, true)
+}
+
+// Peek reports whether path is resident without touching statistics, LRU
+// order, or validation — the broker's stat-free cache-residency signal,
+// mirroring model.FileCache.Peek.
+func (c *Cache) Peek(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[path]
+	return ok
+}
+
+// Fetch returns the cached entry for path or, on a miss, fills it with one
+// backing read shared by every concurrent caller (singleflight): the first
+// caller runs fill outside the lock, latecomers block on its result, and a
+// successful fill is inserted. The internal lookup is quiet — Fetch is the
+// fill-through half of the serving path, whose counted Lookup already ran.
+// fill errors are returned to every waiter and nothing is cached.
+func (c *Cache) Fetch(path string, check func(Entry) bool, fill func() (Entry, error)) (Entry, error) {
+	c.mu.Lock()
+	if ent, ok := c.lookupLocked(path, check, false); ok {
+		c.mu.Unlock()
+		return ent, nil
+	}
+	if f, ok := c.flights[path]; ok {
+		c.shared++
+		c.mu.Unlock()
+		<-f.done
+		return f.ent, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[path] = f
+	c.mu.Unlock()
+
+	f.ent, f.err = fill()
+
+	c.mu.Lock()
+	delete(c.flights, path)
+	if f.err == nil {
+		c.insertLocked(f.ent)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.ent, f.err
+}
+
+// Insert adds an entry, evicting least-recently-used entries to fit,
+// with model.FileCache's exact refusal rules: empty bodies and bodies
+// larger than the whole capacity are not cached at all.
+func (c *Cache) Insert(ent Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(ent)
+}
+
+func (c *Cache) insertLocked(ent Entry) {
+	size := int64(len(ent.Body))
+	if size <= 0 || size > c.capacity {
+		return
+	}
+	if el, ok := c.entries[ent.Path]; ok {
+		// Refresh in place (a concurrent fill raced a revalidation):
+		// replace the bytes, keep the LRU/accounting behaviour identical
+		// to the model's existing-key Insert — move to front, no event.
+		old := el.Value.(*entry)
+		c.used += size - old.size
+		old.Entry, old.size = ent, size
+		c.order.MoveToFront(el)
+		c.evictOverflowLocked()
+		return
+	}
+	for c.used+size > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+		c.emit(EvEvict, back.Value.(*entry).Path)
+	}
+	el := c.order.PushFront(&entry{Entry: ent, size: size})
+	c.entries[ent.Path] = el
+	c.used += size
+	c.emit(EvInsert, ent.Path)
+}
+
+// evictOverflowLocked trims the tail after an in-place refresh grew an
+// entry past the capacity.
+func (c *Cache) evictOverflowLocked() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+		c.emit(EvEvict, back.Value.(*entry).Path)
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	ent := el.Value.(*entry)
+	c.order.Remove(el)
+	delete(c.entries, ent.Path)
+	c.used -= ent.size
+}
+
+// Invalidate removes path if present (a write-path hook; the read path
+// invalidates through Lookup's check).
+func (c *Cache) Invalidate(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[path]; ok {
+		c.removeLocked(el)
+	}
+}
+
+// Hot returns up to n most-recently-used cached paths, hottest first —
+// the residency digest /sweb/status shows.
+func (c *Cache) Hot(n int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for el := c.order.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(*entry).Path)
+	}
+	return out
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:               c.hits,
+		Misses:             c.misses,
+		Evictions:          c.evictions,
+		SingleflightShared: c.shared,
+		UsedBytes:          c.used,
+		CapacityBytes:      c.capacity,
+		Files:              c.order.Len(),
+	}
+}

@@ -1,0 +1,222 @@
+package cache_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sweb/internal/cache"
+	"sweb/internal/model"
+)
+
+// TestSingleflightStampede aims N concurrent misses for one path at the
+// cache and demands exactly one backing read: the first caller fills,
+// every latecomer blocks on the flight and shares the result.
+func TestSingleflightStampede(t *testing.T) {
+	const waiters = 32
+	c := cache.New(1 << 20)
+
+	fills := 0
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	fill := func() (cache.Entry, error) {
+		fills++ // no mutex: a second concurrent fill is the bug under test
+		close(entered)
+		<-release
+		return cache.Entry{Path: "/hot", Body: []byte("payload")}, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]cache.Entry, waiters)
+	errs := make([]error, waiters)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = c.Fetch("/hot", nil, fill)
+	}()
+	<-entered // the leader is inside fill; the path has an open flight
+	for i := 1; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = c.Fetch("/hot", nil, func() (cache.Entry, error) {
+				t.Error("latecomer ran its own backing read")
+				return cache.Entry{}, errors.New("stampede")
+			})
+		}()
+	}
+	// Wait until every latecomer has joined the flight, then let the
+	// leader finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().SingleflightShared < waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d latecomers joined the flight", c.Stats().SingleflightShared, waiters-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if fills != 1 {
+		t.Fatalf("backing read ran %d times, want 1", fills)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if string(results[i].Body) != "payload" {
+			t.Fatalf("waiter %d got body %q", i, results[i].Body)
+		}
+	}
+	st := c.Stats()
+	if st.SingleflightShared != waiters-1 {
+		t.Errorf("SingleflightShared = %d, want %d", st.SingleflightShared, waiters-1)
+	}
+	if !c.Peek("/hot") {
+		t.Error("filled entry not resident after the flight")
+	}
+}
+
+// TestFetchErrorNotCached verifies a failed fill reaches every waiter and
+// leaves nothing resident, so the next request retries the backing read.
+func TestFetchErrorNotCached(t *testing.T) {
+	c := cache.New(1 << 20)
+	boom := errors.New("disk gone")
+	if _, err := c.Fetch("/a", nil, func() (cache.Entry, error) { return cache.Entry{}, boom }); err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if c.Peek("/a") {
+		t.Fatal("failed fill left an entry resident")
+	}
+	if _, ok := c.Lookup("/a", nil); ok {
+		t.Fatal("failed fill satisfied a later lookup")
+	}
+}
+
+// TestStaleEntryInvalidated verifies the validator contract: a resident
+// entry the check rejects is removed atomically and the lookup misses, so
+// a mutated document can never be served from memory.
+func TestStaleEntryInvalidated(t *testing.T) {
+	c := cache.New(1 << 20)
+	c.Insert(cache.Entry{Path: "/f", Body: []byte("old")})
+	stale := func(cache.Entry) bool { return false }
+	if _, ok := c.Lookup("/f", stale); ok {
+		t.Fatal("stale entry served as a hit")
+	}
+	if c.Peek("/f") {
+		t.Fatal("stale entry still resident after the rejecting lookup")
+	}
+	// Fetch's quiet lookup applies the same validator: the fill refreshes
+	// the bytes.
+	c.Insert(cache.Entry{Path: "/f", Body: []byte("old")})
+	ent, err := c.Fetch("/f", stale, func() (cache.Entry, error) {
+		return cache.Entry{Path: "/f", Body: []byte("new")}, nil
+	})
+	if err != nil || string(ent.Body) != "new" {
+		t.Fatalf("Fetch after staleness = %q, %v; want refreshed bytes", ent.Body, err)
+	}
+}
+
+// TestRefusalRules checks the model-mirrored insert refusals: empty bodies
+// and bodies larger than the capacity are never cached, and a zero-capacity
+// cache stores nothing.
+func TestRefusalRules(t *testing.T) {
+	c := cache.New(10)
+	c.Insert(cache.Entry{Path: "/empty"})
+	c.Insert(cache.Entry{Path: "/huge", Body: make([]byte, 11)})
+	if c.Peek("/empty") || c.Peek("/huge") {
+		t.Fatal("refused entry became resident")
+	}
+	off := cache.New(0)
+	off.Insert(cache.Entry{Path: "/x", Body: []byte("y")})
+	if off.Peek("/x") {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+	if _, err := off.Fetch("/x", nil, func() (cache.Entry, error) {
+		return cache.Entry{Path: "/x", Body: []byte("y")}, nil
+	}); err != nil {
+		t.Fatalf("zero-capacity Fetch: %v", err)
+	}
+	if off.Peek("/x") {
+		t.Fatal("zero-capacity cache stored a fill")
+	}
+}
+
+// TestLRUPropertyAgainstModel is the randomized invariant check: a long
+// random mix of lookups, fills, inserts, and invalidations, applied in
+// lockstep to internal/cache and to the model.FileCache oracle. After
+// every operation the capacity bound must hold and residency, accounting,
+// and LRU order must match the oracle exactly.
+func TestLRUPropertyAgainstModel(t *testing.T) {
+	const capacity = 8 << 10
+	rng := rand.New(rand.NewSource(7))
+	c := cache.New(capacity)
+	oracle := model.NewFileCache(capacity)
+
+	size := func(i int) int64 { return int64(1+(i*13)%30) * 256 }
+	paths := make([]string, 24)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/p%02d", i)
+	}
+
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(len(paths))
+		p, body := paths[i], make([]byte, size(i))
+		switch rng.Intn(4) {
+		case 0: // counted lookup = Contains (+Touch on hit, as the serving path does)
+			_, hit := c.Lookup(p, nil)
+			if oracle.Contains(p) != hit {
+				t.Fatalf("op %d: Lookup(%s) hit=%v diverges from oracle", op, p, hit)
+			}
+			oracle.Touch(p)
+		case 1: // fill-through
+			if _, err := c.Fetch(p, nil, func() (cache.Entry, error) {
+				return cache.Entry{Path: p, Body: body}, nil
+			}); err != nil {
+				t.Fatalf("op %d: Fetch(%s): %v", op, p, err)
+			}
+			if oracle.Peek(p) {
+				oracle.Touch(p)
+			} else {
+				oracle.Insert(p, size(i))
+			}
+		case 2: // direct insert
+			c.Insert(cache.Entry{Path: p, Body: body})
+			if oracle.Peek(p) {
+				oracle.Touch(p)
+			} else {
+				oracle.Insert(p, size(i))
+			}
+		case 3:
+			c.Invalidate(p)
+			oracle.Invalidate(p)
+		}
+
+		st := c.Stats()
+		if st.UsedBytes > capacity {
+			t.Fatalf("op %d: used %d exceeds capacity %d", op, st.UsedBytes, capacity)
+		}
+		if st.UsedBytes != oracle.Used() || st.Files != oracle.Len() {
+			t.Fatalf("op %d: accounting diverges: used=%d files=%d, oracle used=%d files=%d",
+				op, st.UsedBytes, st.Files, oracle.Used(), oracle.Len())
+		}
+		for _, q := range paths {
+			if c.Peek(q) != oracle.Peek(q) {
+				t.Fatalf("op %d: residency of %s diverges", op, q)
+			}
+		}
+		ch, oh := c.Hot(len(paths)), oracle.Hot(len(paths))
+		if len(ch) != len(oh) {
+			t.Fatalf("op %d: LRU order length diverges: %v vs %v", op, ch, oh)
+		}
+		for k := range ch {
+			if ch[k] != oh[k] {
+				t.Fatalf("op %d: LRU order diverges at %d: %v vs %v", op, k, ch, oh)
+			}
+		}
+	}
+}

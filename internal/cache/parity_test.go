@@ -1,0 +1,111 @@
+package cache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sweb/internal/cache"
+	"sweb/internal/model"
+)
+
+// event is one OnEvent observation, comparable across both caches.
+type event struct {
+	kind, path string
+}
+
+// TestDifferentialParityWithModel replays one deterministic request
+// sequence through the simulator's model.FileCache and the live
+// internal/cache, each driven exactly the way its substrate drives it —
+// the sim's Contains→Touch/Insert choreography against the live
+// Lookup→Fetch fill-through — and demands byte-identical event streams:
+// every hit, miss, insert, and eviction, in order, with the same path.
+// This is the proof that the live data path and the simulated page cache
+// implement the same replacement policy.
+func TestDifferentialParityWithModel(t *testing.T) {
+	const capacity = 64 << 10 // small enough that evictions are routine
+
+	// A fixed per-path size: ~40 documents from 1 KB to 20 KB, so a
+	// handful of large entries churn the LRU tail. One path (index 0)
+	// gets size 0 and one (index 1) exceeds the capacity, exercising
+	// both refusal rules on the same sequence.
+	size := func(i int) int64 {
+		switch i {
+		case 0:
+			return 0
+		case 1:
+			return capacity + 1
+		default:
+			return int64(1+(i*7)%20) << 10
+		}
+	}
+
+	var modelEvents, liveEvents []event
+	mc := model.NewFileCache(capacity)
+	mc.OnEvent = func(kind, path string) { modelEvents = append(modelEvents, event{kind, path}) }
+	lc := cache.New(capacity)
+	lc.OnEvent = func(kind, path string) { liveEvents = append(liveEvents, event{kind, path}) }
+
+	rng := rand.New(rand.NewSource(42))
+	for op := 0; op < 2000; op++ {
+		i := rng.Intn(40)
+		path := fmt.Sprintf("/doc%02d.html", i)
+		body := make([]byte, size(i))
+
+		// Simulator choreography (internal/simsrv/request.go): one
+		// counted Contains per request; a hit is touched, a miss is
+		// inserted after the read completes.
+		if mc.Contains(path) {
+			mc.Touch(path)
+		} else {
+			mc.Insert(path, size(i))
+		}
+
+		// Live choreography (internal/httpd/handler.go): one counted
+		// Lookup per request; a miss falls through to the quiet
+		// singleflight Fetch, which fills and inserts.
+		if _, ok := lc.Lookup(path, nil); !ok {
+			if _, err := lc.Fetch(path, nil, func() (cache.Entry, error) {
+				return cache.Entry{Path: path, Body: body}, nil
+			}); err != nil {
+				t.Fatalf("Fetch(%s): %v", path, err)
+			}
+		}
+	}
+
+	if len(modelEvents) != len(liveEvents) {
+		t.Fatalf("event streams diverge in length: model %d, live %d",
+			len(modelEvents), len(liveEvents))
+	}
+	for i := range modelEvents {
+		if modelEvents[i] != liveEvents[i] {
+			t.Fatalf("event %d diverges: model %v, live %v", i, modelEvents[i], liveEvents[i])
+		}
+	}
+
+	// The aggregate state must agree too: counters, residency, LRU order.
+	mh, mm := mc.Stats()
+	ls := lc.Stats()
+	if mh != ls.Hits || mm != ls.Misses {
+		t.Errorf("counters diverge: model hits=%d misses=%d, live hits=%d misses=%d",
+			mh, mm, ls.Hits, ls.Misses)
+	}
+	if mc.Evictions() != ls.Evictions {
+		t.Errorf("evictions diverge: model %d, live %d", mc.Evictions(), ls.Evictions)
+	}
+	if mc.Used() != ls.UsedBytes {
+		t.Errorf("used bytes diverge: model %d, live %d", mc.Used(), ls.UsedBytes)
+	}
+	if mc.Len() != ls.Files {
+		t.Errorf("file counts diverge: model %d, live %d", mc.Len(), ls.Files)
+	}
+	mHot, lHot := mc.Hot(64), lc.Hot(64)
+	if len(mHot) != len(lHot) {
+		t.Fatalf("LRU order length diverges: model %v, live %v", mHot, lHot)
+	}
+	for i := range mHot {
+		if mHot[i] != lHot[i] {
+			t.Fatalf("LRU order diverges at %d: model %v, live %v", i, mHot, lHot)
+		}
+	}
+}

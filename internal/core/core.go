@@ -258,9 +258,15 @@ func (s *SWEB) EstimateCost(req Request, local, target int, loads []NodeLoad) Co
 			// b2: the advertised NetBytesPerSec already folds in the NFS
 			// protocol penalty, exactly as the paper's measured b2 does.
 			owner := loads[req.Owner]
-			bd := owner.DiskBytesPerSec / (1 + diskLoad(owner))
 			bn := ld.NetBytesPerSec / (1 + netLoad(ld))
-			cb.Data = req.DiskBytes / math.Min(bd, bn)
+			if req.cachedAt(req.Owner, local) {
+				// The owner holds the document in memory: its NFS answer
+				// skips the disk, leaving only the interconnect path.
+				cb.Data = req.DiskBytes / bn
+			} else {
+				bd := owner.DiskBytesPerSec / (1 + diskLoad(owner))
+				cb.Data = req.DiskBytes / math.Min(bd, bn)
+			}
 		}
 	}
 

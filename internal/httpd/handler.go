@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sweb/internal/accesslog"
+	"sweb/internal/cache"
 	"sweb/internal/core"
 	"sweb/internal/httpmsg"
 	"sweb/internal/retry"
@@ -240,7 +241,7 @@ func (s *Server) handle(conn net.Conn) {
 			DiskBytes:     d.DiskBytes(file.Size),
 			Arrived:       s.cfg.ID,
 			RedirectCount: redirects,
-			CachedLocal:   s.ownsLocally(file),
+			CachedLocal:   s.cachedLocally(req.Path),
 		}
 		loads := s.snapshotLoads()
 		dec = s.cfg.Policy.Choose(coreReq, s.cfg.ID, loads)
@@ -298,15 +299,32 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 
-	// Phase 4: fulfillment.
+	// Phase 4: fulfillment. One counted cache lookup per request, exactly
+	// like the simulator's Contains at the top of streamFile: a validated
+	// hit serves from memory regardless of ownership (emitting fetch-local,
+	// as the simulator does for cached remote documents), a miss falls
+	// through to the disk or the owner and fills the cache on the way out.
 	tFulfill := time.Now()
 	var status int
+	var hot cache.Entry
+	cacheHit := false
+	if !isCGI && s.cache != nil {
+		hot, cacheHit = s.cache.Lookup(req.Path, s.entryCheck(req.Path, file))
+	}
 	switch {
 	case isCGI:
 		s.nm.event(trace.EvCGI)
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvCGI, s.cfg.ID, "path="+req.Path)
 		status = s.serveCGI(conn, req, cgiFn)
 		s.nm.phase("cgi", time.Since(tFulfill).Seconds())
+	case cacheHit:
+		// Hot-file hit: a memory copy — no disk read, and for a foreign
+		// document no owner round-trip either, which keeps the document
+		// serving even while its owner is dead.
+		s.nm.event(trace.EvFetchLocal)
+		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchLocal, s.cfg.ID, "cache=hit")
+		status = s.writeEntry(conn, req, hot)
+		s.nm.phase("fetch_local", time.Since(tFulfill).Seconds())
 	case file.Owner == s.cfg.ID:
 		s.nm.event(trace.EvFetchLocal)
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchLocal, s.cfg.ID, "")
@@ -451,12 +469,43 @@ func (s *Server) retryAfterSeconds() string {
 	return strconv.Itoa(secs)
 }
 
-// ownsLocally reports whether the document can be read from this node's
-// own docroot (it owns the file). The live substrate has no page-cache
-// model; ownership is the locality signal the broker's CachedLocal input
-// carries.
-func (s *Server) ownsLocally(file storage.File) bool {
-	return file.Owner == s.cfg.ID
+// cachedLocally reports whether the document is resident in this node's
+// hot-file cache — the real cache-residency signal the broker's
+// CachedLocal input carries, stat-free like the simulator's Peek. With the
+// cache off nothing is resident and every candidate pays its full t_data.
+func (s *Server) cachedLocally(path string) bool {
+	return s.cache != nil && s.cache.Peek(path)
+}
+
+// entryCheck picks the staleness validator for a cached document: a file
+// this node owns revalidates against the docroot (mtime and size must
+// still match the stat), a relayed foreign file against the manifest size
+// — the strongest truth each side has. A failed check invalidates the
+// entry atomically, so the cache never serves bytes older than what the
+// validator can see.
+func (s *Server) entryCheck(path string, file storage.File) func(cache.Entry) bool {
+	if file.Owner == s.cfg.ID {
+		return s.localCheck(path)
+	}
+	return func(ent cache.Entry) bool { return int64(len(ent.Body)) == file.Size }
+}
+
+// localCheck validates a cached entry against the docroot file it came
+// from. It runs a stat under the cache lock — cheap, and it makes
+// validate-and-invalidate atomic with respect to concurrent fills.
+func (s *Server) localCheck(path string) func(cache.Entry) bool {
+	full := s.localPath(path)
+	return func(ent cache.Entry) bool {
+		fi, err := os.Stat(full)
+		return err == nil && fi.Size() == int64(len(ent.Body)) && fi.ModTime().Equal(ent.ModTime)
+	}
+}
+
+// cacheable reports whether the document can go through the hot-file
+// cache; oversized files stream straight from their source, mirroring the
+// model cache's refusal to hold a file bigger than its whole capacity.
+func (s *Server) cacheable(file storage.File) bool {
+	return s.cache != nil && file.Size > 0 && file.Size <= s.cache.Capacity()
 }
 
 // snapshotLoads builds the broker's view, refreshing the self row from
@@ -509,12 +558,74 @@ func (s *Server) localPath(urlPath string) string {
 	return filepath.Join(s.cfg.DocRoot, filepath.FromSlash(strings.TrimPrefix(urlPath, "/")))
 }
 
-// serveLocalFile streams a document from the node's own disk and returns
-// the status written (0 when the write itself failed). diskActive is held
-// for the whole transfer — the disk is read as the body streams, so
-// releasing the counter at open time would hide disk pressure from the
-// scheduler exactly while the disk is busiest.
+// serveLocalFile serves a document this node owns and returns the status
+// written (0 when the write itself failed). Cacheable documents go through
+// the hot-file cache with singleflight fill — one disk read per document
+// no matter how many handlers want it at once, and the owner side of an
+// internal fetch populates the cache too, exactly as the simulator's NFS
+// server inserts on a remote read. The cache lookup here is quiet (no
+// hit/miss accounting): the client-facing counted lookup already ran in
+// handle, and internal fetches mirror the simulator's stat-free Peek.
 func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storage.File) int {
+	if !s.cacheable(file) {
+		return s.streamLocalFile(conn, req)
+	}
+	ent, err := s.cache.Fetch(req.Path, s.localCheck(req.Path), func() (cache.Entry, error) {
+		return s.readLocalFile(req.Path)
+	})
+	if err != nil {
+		s.errors.Add(1)
+		s.drop("local_io")
+		code := httpmsg.StatusNotFound
+		if os.IsPermission(err) {
+			code = httpmsg.StatusForbidden
+		}
+		_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, "Cannot open document."))
+		return code
+	}
+	return s.writeEntry(conn, req, ent)
+}
+
+// readLocalFile is the cache's backing read: the whole document in one
+// disk pass, with diskActive held across it so the scheduler sees the
+// disk pressure of the fill.
+func (s *Server) readLocalFile(path string) (cache.Entry, error) {
+	s.diskActive.Add(1)
+	defer s.diskActive.Add(-1)
+	full := s.localPath(path)
+	fi, err := os.Stat(full)
+	if err != nil {
+		return cache.Entry{}, err
+	}
+	body, err := os.ReadFile(full)
+	if err != nil {
+		return cache.Entry{}, err
+	}
+	return cache.Entry{Path: path, Body: body, ModTime: fi.ModTime()}, nil
+}
+
+// writeEntry answers a request from a memory-resident entry: conditional
+// GETs revalidate against the entry's mtime (absent for relayed bodies,
+// which never carry one), full responses stream from the cached bytes with
+// no diskActive — the whole point of the hit path.
+func (s *Server) writeEntry(conn net.Conn, req *httpmsg.Request, ent cache.Entry) int {
+	if !ent.ModTime.IsZero() && httpmsg.NotModified(req.Header.Get("If-Modified-Since"), ent.ModTime) {
+		h := httpmsg.Header{}
+		h.Set("Last-Modified", httpmsg.FormatHTTPDate(ent.ModTime))
+		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusNotModified, h, nil)
+		s.served.Add(1)
+		s.logAccess(conn, req, httpmsg.StatusNotModified, -1)
+		return httpmsg.StatusNotModified
+	}
+	return s.streamResponse(conn, req, int64(len(ent.Body)), bytes.NewReader(ent.Body), ent.ModTime)
+}
+
+// streamLocalFile streams a document from the node's own disk, bypassing
+// the cache (cache off, or the file exceeds the whole cache capacity).
+// diskActive is held for the whole transfer — the disk is read as the body
+// streams, so releasing the counter at open time would hide disk pressure
+// from the scheduler exactly while the disk is busiest.
+func (s *Server) streamLocalFile(conn net.Conn, req *httpmsg.Request) int {
 	s.diskActive.Add(1)
 	defer s.diskActive.Add(-1)
 	f, err := os.Open(s.localPath(req.Path))
@@ -552,11 +663,14 @@ func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storag
 }
 
 // serveRemoteFile fetches the document from its owner (the NFS stand-in)
-// and relays it to the client. The fetch runs under the node's retry
-// budget — a dead owner is retried with capped, jittered backoff and each
-// failure feeds the loadd health view — and only once the budget is spent
-// does the client see the degradation ladder's last rung: 503 with a
-// Retry-After hint.
+// and relays it to the client, caching the relayed body so the next
+// request for it is a memory hit instead of another cross-mount round
+// trip; concurrent requests for the same cold document coalesce into one
+// fetch (singleflight). The fetch runs under the node's retry budget — a
+// dead owner is retried with capped, jittered backoff and each failure
+// feeds the loadd health view — and only once the budget is spent does the
+// client see the degradation ladder's last rung: 503 with a Retry-After
+// hint.
 func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file storage.File, tctx trace.TraceID) int {
 	peer, ok := s.peerByID(file.Owner)
 	if !ok {
@@ -566,26 +680,40 @@ func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file stora
 			httpmsg.ErrorBody(httpmsg.StatusInternalServerError, "owner unknown"))
 		return httpmsg.StatusInternalServerError
 	}
-	s.internalFetch.Add(1)
 	s.netActive.Add(1)
 	defer s.netActive.Add(-1)
-	pol := retry.Policy{
-		MaxAttempts: s.cfg.FetchAttempts,
-		BaseDelay:   s.cfg.FetchBackoff,
-		MaxDelay:    2 * time.Second,
-		Jitter:      0.2,
-		Budget:      connTimeout / 2,
-	}
-	var resp *httpmsg.Response
-	err := pol.Do(s.closed, func(int) error {
-		r, ferr := s.fetchFromPeer(peer, req.Path, tctx)
-		if ferr != nil {
-			s.table.MarkFailure(file.Owner)
-			return ferr
+	fetch := func() (cache.Entry, error) {
+		s.internalFetch.Add(1)
+		pol := retry.Policy{
+			MaxAttempts: s.cfg.FetchAttempts,
+			BaseDelay:   s.cfg.FetchBackoff,
+			MaxDelay:    2 * time.Second,
+			Jitter:      0.2,
+			Budget:      connTimeout / 2,
 		}
-		resp = r
-		return nil
-	})
+		var resp *httpmsg.Response
+		err := pol.Do(s.closed, func(int) error {
+			r, ferr := s.fetchFromPeer(peer, req.Path, tctx)
+			if ferr != nil {
+				s.table.MarkFailure(file.Owner)
+				return ferr
+			}
+			resp = r
+			return nil
+		})
+		if err != nil {
+			return cache.Entry{}, err
+		}
+		s.table.MarkSuccess(file.Owner)
+		return cache.Entry{Path: req.Path, Body: resp.Body}, nil
+	}
+	var ent cache.Entry
+	var err error
+	if s.cacheable(file) {
+		ent, err = s.cache.Fetch(req.Path, s.entryCheck(req.Path, file), fetch)
+	} else {
+		ent, err = fetch()
+	}
 	if err != nil {
 		s.errors.Add(1)
 		s.fetchFailed.Add(1)
@@ -597,8 +725,7 @@ func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file stora
 		s.logAccess(conn, req, httpmsg.StatusServiceUnavailable, -1)
 		return httpmsg.StatusServiceUnavailable
 	}
-	s.table.MarkSuccess(file.Owner)
-	return s.streamResponse(conn, req, int64(len(resp.Body)), bytes.NewReader(resp.Body), time.Time{})
+	return s.streamResponse(conn, req, int64(len(ent.Body)), bytes.NewReader(ent.Body), time.Time{})
 }
 
 // fetchFromPeer performs one internal GET against the owning node,

@@ -39,6 +39,22 @@ type TraceStatus struct {
 	EpochUnix float64 `json:"epoch_unix"`
 }
 
+// CacheStatus summarizes the node's hot-file cache for /sweb/status:
+// residency, the counters behind the sweb_cache_* families, and the
+// hottest resident paths.
+type CacheStatus struct {
+	Enabled            bool     `json:"enabled"`
+	CapacityBytes      int64    `json:"capacity_bytes"`
+	UsedBytes          int64    `json:"used_bytes"`
+	Files              int      `json:"files"`
+	Hits               int64    `json:"hits"`
+	Misses             int64    `json:"misses"`
+	Evictions          int64    `json:"evictions"`
+	SingleflightShared int64    `json:"singleflight_shared"`
+	HitRate            float64  `json:"hit_rate"`
+	Hot                []string `json:"hot,omitempty"`
+}
+
 // StatusReport is the /sweb/status payload: one node's counters, its view
 // of every peer's health, the recent scheduling decisions with their
 // measured outcomes, the gossip time-series behind those decisions, and
@@ -49,11 +65,33 @@ type StatusReport struct {
 	UDPAddr       string              `json:"udp_addr"`
 	UptimeSeconds float64             `json:"uptime_seconds"`
 	Stats         Stats               `json:"stats"`
+	Cache         CacheStatus         `json:"cache"`
 	Trace         TraceStatus         `json:"trace"`
 	Peers         []loadd.PeerHealth  `json:"peers"`
 	Gossip        []loadd.PeerHistory `json:"gossip,omitempty"`
 	Decisions     []DecisionAudit     `json:"decisions"`
 	Config        StatusConfig        `json:"config"`
+}
+
+// cacheStatus snapshots the hot-file cache (zero-valued when disabled).
+func (s *Server) cacheStatus() CacheStatus {
+	c := s.cache
+	if c == nil {
+		return CacheStatus{}
+	}
+	st := c.Stats()
+	return CacheStatus{
+		Enabled:            true,
+		CapacityBytes:      st.CapacityBytes,
+		UsedBytes:          st.UsedBytes,
+		Files:              st.Files,
+		Hits:               st.Hits,
+		Misses:             st.Misses,
+		Evictions:          st.Evictions,
+		SingleflightShared: st.SingleflightShared,
+		HitRate:            st.HitRate(),
+		Hot:                c.Hot(8),
+	}
 }
 
 // StatusReport snapshots the node for /sweb/status (exported for the
@@ -65,6 +103,7 @@ func (s *Server) StatusReport() StatusReport {
 		UDPAddr:       s.UDPAddr(),
 		UptimeSeconds: time.Since(s.epoch).Seconds(),
 		Stats:         s.Stats(),
+		Cache:         s.cacheStatus(),
 		Trace: TraceStatus{
 			Enabled:   s.cfg.Trace.Enabled(),
 			Events:    s.cfg.Trace.Len(),

@@ -37,6 +37,15 @@ const (
 	mGossipAdvertised = "sweb_loadd_advertised_load"
 	mGossipDrift      = "sweb_loadd_self_drift"
 	mTraceDropped     = "sweb_trace_dropped_total"
+	// Hot-file cache counters, read live from the cache at exposition
+	// time; the simulator publishes the same families from its page-cache
+	// model, so hit-rate dashboards work on either substrate.
+	mCacheHits      = "sweb_cache_hits_total"
+	mCacheMisses    = "sweb_cache_misses_total"
+	mCacheEvictions = "sweb_cache_evictions_total"
+	mCacheShared    = "sweb_cache_singleflight_shared_total"
+	mCacheBytes     = "sweb_cache_bytes"
+	mCacheCapacity  = "sweb_cache_capacity_bytes"
 )
 
 // gossipIntervalBuckets cover a healthy 2-3 s gossip period up through the
@@ -97,6 +106,20 @@ func newNodeMetrics(s *Server) *nodeMetrics {
 		func() float64 { return float64(s.netActive.Load()) })
 	reg.CounterFunc("sweb_bytes_out_total", "response body bytes written", nil,
 		func() float64 { return float64(s.bytesOut.Load()) })
+	if c := s.cache; c != nil {
+		reg.CounterFunc(mCacheHits, "hot-file cache lookups served from memory", nil,
+			func() float64 { return float64(c.Stats().Hits) })
+		reg.CounterFunc(mCacheMisses, "hot-file cache lookups that missed (absent or stale)", nil,
+			func() float64 { return float64(c.Stats().Misses) })
+		reg.CounterFunc(mCacheEvictions, "entries displaced by the LRU policy", nil,
+			func() float64 { return float64(c.Stats().Evictions) })
+		reg.CounterFunc(mCacheShared, "fills shared by coalesced concurrent misses", nil,
+			func() float64 { return float64(c.Stats().SingleflightShared) })
+		reg.GaugeFunc(mCacheBytes, "bytes resident in the hot-file cache", nil,
+			func() float64 { return float64(c.Stats().UsedBytes) })
+		reg.GaugeFunc(mCacheCapacity, "hot-file cache capacity", nil,
+			func() float64 { return float64(c.Capacity()) })
+	}
 	if rec := s.cfg.Trace; rec.Enabled() {
 		reg.CounterFunc(mTraceDropped, "trace events discarded at the capture limit", nil,
 			func() float64 { return float64(rec.Dropped()) })

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sweb/internal/accesslog"
+	"sweb/internal/cache"
 	"sweb/internal/core"
 	"sweb/internal/loadd"
 	"sweb/internal/oracle"
@@ -80,6 +81,17 @@ type Config struct {
 	// peer is scheduled around even if its broadcasts still look fresh
 	// (default loadd.DefaultFailureLimit).
 	FailureLimit int
+
+	// CacheBytes is the hot-file memory cache capacity (default
+	// DefaultCacheBytes). Documents at most this size are kept in memory
+	// after their first read — local disk reads and remote-fetch results
+	// alike — and served without touching the disk or the owner again
+	// until they are evicted or the backing file changes.
+	CacheBytes int64
+	// CacheOff disables the hot-file cache entirely: every request pays
+	// the full b1 disk (or internal-fetch) cost, as before the cache
+	// existed. The -cache-off ablation switch.
+	CacheOff bool
 
 	// DialDelay, when non-nil, is consulted before every internal-fetch
 	// dial and the returned duration slept — fault injection for tests.
@@ -162,6 +174,9 @@ func (c *Config) fillDefaults() error {
 	if c.FailureLimit == 0 {
 		c.FailureLimit = loadd.DefaultFailureLimit
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
 	if c.CPUOpsPerSec == 0 {
 		c.CPUOpsPerSec = 40e6
 	}
@@ -196,6 +211,11 @@ type Stats struct {
 	Drops         map[string]int64 `json:"drops,omitempty"`
 }
 
+// DefaultCacheBytes is the default hot-file cache capacity: 64 MB, a
+// 2× oversubscription of the Meiko node's 32 MB RAM scaled to a modern
+// host — big enough to hold a paper-style hot set of 1.5 MB documents.
+const DefaultCacheBytes int64 = 64 << 20
+
 // Server is one live SWEB node.
 type Server struct {
 	cfg   Config
@@ -203,6 +223,9 @@ type Server struct {
 	udp   *net.UDPConn
 	table *loadd.Table
 	epoch time.Time
+
+	// cache is the hot-file memory cache; nil when Config.CacheOff.
+	cache *cache.Cache
 
 	peersMu sync.RWMutex
 	peers   map[int]Peer
@@ -276,9 +299,16 @@ func New(cfg Config) (*Server, error) {
 		dropCounts: make(map[string]int64),
 		audit:      newAuditLog(auditCap),
 	}
+	if !cfg.CacheOff {
+		s.cache = cache.New(cfg.CacheBytes)
+	}
 	s.nm = newNodeMetrics(s)
 	return s, nil
 }
+
+// Cache exposes the node's hot-file cache (nil when disabled) for tests
+// and the status report.
+func (s *Server) Cache() *cache.Cache { return s.cache }
 
 // newHealthTable builds the loadd table with the configured data-path
 // failure threshold.

@@ -336,6 +336,90 @@ func TestDialLatencyInjection(t *testing.T) {
 	}
 }
 
+// TestCacheServesDeadOwnerDocuments is the cache's availability dividend:
+// a document relayed from its owner is cached at the relaying node, so
+// killing the owner leaves warm documents servable while cold ones degrade
+// to 503 — and restarting the owner brings the cold ones back.
+func TestCacheServesDeadOwnerDocuments(t *testing.T) {
+	const owner = 1
+	st := storage.NewStore(2)
+	paths := storage.UniformSet(st, 6, 4096)
+	cl, err := Start(Options{
+		// Round-robin never redirects, so node 0 must relay owner-held
+		// documents through the internal fetch path — the path that fills
+		// its cache with foreign documents.
+		Nodes: 2, Store: st, BaseDir: t.TempDir(), Policy: "rr",
+		FetchAttempts: 1,
+		Seed:          19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var ownerPaths []string
+	for _, p := range paths {
+		if o, _ := st.Owner(p); o == owner {
+			ownerPaths = append(ownerPaths, p)
+		}
+	}
+	if len(ownerPaths) < 2 {
+		t.Fatal("uniform set left the owner under-provisioned")
+	}
+	warm, cold := ownerPaths[0], ownerPaths[1]
+
+	client := cl.NewClient()
+	res, err := client.GetVia(0, warm)
+	if err != nil || res.Status != 200 {
+		t.Fatalf("warm-up relay: res=%+v err=%v", res, err)
+	}
+	warmBody := res.Body
+	if !cl.Servers[0].Cache().Peek(warm) {
+		t.Fatal("relayed document not resident in the relaying node's cache")
+	}
+
+	if err := cl.Kill(owner); err != nil {
+		t.Fatal(err)
+	}
+
+	// The warm document survives its owner: served from node 0's memory.
+	res, err = client.GetVia(0, warm)
+	if err != nil || res.Status != 200 {
+		t.Fatalf("warm fetch with owner dead: res=%+v err=%v", res, err)
+	}
+	if string(res.Body) != string(warmBody) {
+		t.Fatal("cached body diverged from the owner's original")
+	}
+	// The cold one has nowhere to come from: degraded 503.
+	res, err = client.GetVia(0, cold)
+	if err != nil {
+		t.Fatalf("cold fetch errored instead of degrading: %v", err)
+	}
+	if res.Status != 503 {
+		t.Fatalf("cold fetch with owner dead: status %d, want 503", res.Status)
+	}
+
+	// Restart heals the cold path while the warm one keeps hitting.
+	if err := cl.Restart(owner); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restarted owner to answer relays", 10*time.Second, func() bool {
+		res, err := client.GetVia(0, cold)
+		return err == nil && res.Status == 200
+	})
+	res, err = client.GetVia(0, warm)
+	if err != nil || res.Status != 200 || string(res.Body) != string(warmBody) {
+		t.Fatalf("warm fetch after restart: res=%+v err=%v", res, err)
+	}
+
+	// The scraped story agrees: the cluster counted cache hits for the
+	// warm document's repeat fetches.
+	samples, _ := cl.ScrapeMetrics()
+	if v := MetricValue(samples, "sweb_cache_hits_total", nil); v < 2 {
+		t.Fatalf("cluster cache hits = %v, want >= 2", v)
+	}
+}
+
 // TestClientFailsOverDeadEntryNode kills a node and checks the client
 // rides the rotation past its address without an error surfacing.
 func TestClientFailsOverDeadEntryNode(t *testing.T) {

@@ -60,6 +60,11 @@ type Options struct {
 	// FailureLimit is the consecutive data-path failure count before a
 	// peer is scheduled around (zero: loadd default).
 	FailureLimit int
+	// CacheBytes is each node's hot-file cache capacity (zero: httpd's
+	// DefaultCacheBytes).
+	CacheBytes int64
+	// CacheOff disables the hot-file cache on every node.
+	CacheOff bool
 	// Faults, when non-nil, injects gossip loss and fetch latency.
 	Faults *Faults
 	// Trace, when non-nil, is shared by every node: each request's
@@ -147,6 +152,8 @@ func Start(o Options) (*Cluster, error) {
 			FetchBackoff:   o.FetchBackoff,
 			RetryAfterHint: o.RetryAfterHint,
 			FailureLimit:   o.FailureLimit,
+			CacheBytes:     o.CacheBytes,
+			CacheOff:       o.CacheOff,
 			DropBroadcast:  o.Faults.dropFn(int64(i)),
 			DialDelay:      o.Faults.delayFn(),
 			Trace:          rec,
@@ -379,6 +386,17 @@ func (cl *Client) Get(path string) (*Result, error) {
 	rec.Record(tid, cl.sinceEpoch(time.Now()), trace.EvDelivered, -1,
 		fmt.Sprintf("status=%d", res.Status))
 	return res, nil
+}
+
+// GetVia fetches path entering the cluster at node's HTTP listener,
+// bypassing the DNS rotation — benchmarks and chaos tests pin the entry
+// node so cache placement and internal-fetch direction are deterministic.
+// Redirects are still followed like Get's.
+func (cl *Client) GetVia(node int, path string) (*Result, error) {
+	if node < 0 || node >= len(cl.cluster.Servers) {
+		return nil, fmt.Errorf("live: no node %d", node)
+	}
+	return cl.getVia(cl.cluster.Servers[node].Addr(), path, time.Now())
 }
 
 // traceQueryParam mirrors the httpd swebt parameter name; the client sends

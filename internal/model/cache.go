@@ -9,12 +9,19 @@ import "container/list"
 // aggregate cache is p times larger and the per-node working set p times
 // smaller, so hit rates climb with cluster size.
 type FileCache struct {
+	// OnEvent, when non-nil, observes every transition ("hit"/"miss" on
+	// Contains, "insert" per new entry, "evict" per eviction, with the
+	// affected path) in the order it happens. The live internal/cache
+	// emits the same vocabulary, so a differential test can replay one
+	// request sequence through both caches and compare streams verbatim.
+	OnEvent func(kind, path string)
+
 	capacity int64
 	used     int64
 	order    *list.List // front = most recently used
 	entries  map[string]*list.Element
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
@@ -41,13 +48,21 @@ func (c *FileCache) Used() int64 { return c.used }
 // Len returns the number of cached files.
 func (c *FileCache) Len() int { return c.order.Len() }
 
+func (c *FileCache) emit(kind, path string) {
+	if c.OnEvent != nil {
+		c.OnEvent(kind, path)
+	}
+}
+
 // Contains reports whether path is cached, updating hit/miss statistics.
 func (c *FileCache) Contains(path string) bool {
 	if _, ok := c.entries[path]; ok {
 		c.hits++
+		c.emit("hit", path)
 		return true
 	}
 	c.misses++
+	c.emit("miss", path)
 	return false
 }
 
@@ -86,10 +101,13 @@ func (c *FileCache) Insert(path string, size int64) {
 		c.order.Remove(back)
 		delete(c.entries, ent.path)
 		c.used -= ent.size
+		c.evictions++
+		c.emit("evict", ent.path)
 	}
 	el := c.order.PushFront(&cacheEntry{path: path, size: size})
 	c.entries[path] = el
 	c.used += size
+	c.emit("insert", path)
 }
 
 // Invalidate removes path if present.
@@ -117,6 +135,9 @@ func (c *FileCache) Hot(n int) []string {
 
 // Stats returns cumulative Contains() hits and misses.
 func (c *FileCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Evictions returns how many entries the LRU policy has displaced.
+func (c *FileCache) Evictions() int64 { return c.evictions }
 
 // HitRate returns the fraction of Contains() calls that hit, or 0 if none.
 func (c *FileCache) HitRate() float64 {

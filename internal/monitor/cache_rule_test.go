@@ -1,0 +1,71 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"sweb/internal/metrics"
+	"sweb/internal/monitor"
+)
+
+// TestCacheLowHitRule drives the default cache_low_hit rule through its
+// whole life: an idle cache is suppressed below the minimum-lookup floor,
+// a thrashing one (pure misses) needs ForSamples consecutive breached
+// rounds to fire, and recovery clears it only after the hysteresis streak.
+func TestCacheLowHitRule(t *testing.T) {
+	var hits, misses float64
+	m := monitor.New(monitor.Config{
+		Window: 3,
+		Rules:  monitor.RuleConfig{ForSamples: 2, CacheMinLookups: 20},
+	})
+	m.AddSource(&monitor.FuncSource{Name: "n0", Fn: func() ([]metrics.Sample, error) {
+		return []metrics.Sample{
+			{Name: "sweb_cache_hits_total", Value: hits},
+			{Name: "sweb_cache_misses_total", Value: misses},
+		}, nil
+	}})
+
+	now := 0.0
+	step := func(dh, dm float64) bool {
+		hits += dh
+		misses += dm
+		now++
+		m.Collect(now)
+		return m.AlertFiring("cache_low_hit", "n0")
+	}
+
+	// A cold, idle cache: a few misses, below the lookup floor — quiet.
+	for i := 0; i < 3; i++ {
+		if step(0, 5) {
+			t.Fatalf("round %d: fired below the minimum-lookup floor", i)
+		}
+	}
+	// Thrashing: every lookup misses, well over the floor. One breached
+	// round must not fire yet...
+	if step(0, 50) {
+		t.Fatal("fired after a single breached round")
+	}
+	// ...the second consecutive breach does.
+	if !step(0, 50) {
+		t.Fatal("did not fire after two consecutive thrashing rounds")
+	}
+	// The firing state is visible in Alerts() with the node as subject.
+	var found bool
+	for _, a := range m.Alerts() {
+		if a.Rule == "cache_low_hit" && a.Node == "n0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cache_low_hit missing from Alerts(): %+v", m.Alerts())
+	}
+
+	// Recovery: the working set fits again and lookups start hitting.
+	// One good round is not enough to clear...
+	if !step(100, 0) {
+		t.Fatal("cleared after a single recovered round")
+	}
+	// ...two consecutive good rounds are.
+	if step(100, 0) {
+		t.Fatal("still firing after two recovered rounds")
+	}
+}

@@ -31,6 +31,12 @@ var coreFamilies = []string{
 	"sweb_response_seconds_count",
 	"sweb_loadd_broadcast_age_seconds",
 	"sweb_loadd_advertised_load",
+	"sweb_cache_hits_total",
+	"sweb_cache_misses_total",
+	"sweb_cache_evictions_total",
+	"sweb_cache_singleflight_shared_total",
+	"sweb_cache_bytes",
+	"sweb_cache_capacity_bytes",
 }
 
 // runSimMonitored drives a simulated burst with a monitor collecting on

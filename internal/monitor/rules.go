@@ -40,6 +40,16 @@ type RuleConfig struct {
 	// PredictionMinCompared suppresses prediction_drift with fewer
 	// compared requests in the window (default 5).
 	PredictionMinCompared float64
+	// CacheMissRatio fires cache_low_hit when a node's windowed cache
+	// miss ratio (Δmisses / Δlookups) reaches it (default 0.9): a hot-file
+	// cache that almost never hits means the working set outgrew the
+	// capacity — the regime where the paper's superlinear speedup
+	// evaporates — or the cache was sized wrong.
+	CacheMissRatio float64
+	// CacheMinLookups suppresses cache_low_hit with fewer cache lookups
+	// in the window (default 20); a cold or idle cache is not a failing
+	// one.
+	CacheMinLookups float64
 	// ForSamples is how many consecutive breached (or cleared) collection
 	// rounds a rule needs before changing state — the hysteresis that
 	// stops threshold flapping (default 2).
@@ -74,6 +84,12 @@ func (c *RuleConfig) fillDefaults() {
 	}
 	if c.PredictionMinCompared == 0 {
 		c.PredictionMinCompared = 5
+	}
+	if c.CacheMissRatio == 0 {
+		c.CacheMissRatio = 0.9
+	}
+	if c.CacheMinLookups == 0 {
+		c.CacheMinLookups = 20
 	}
 	if c.ForSamples == 0 {
 		c.ForSamples = 2
@@ -213,6 +229,26 @@ func DefaultRules(cfg RuleConfig) []Rule {
 				return map[string]float64{"": 0}
 			}
 			return map[string]float64{"": redirRate / reqRate}
+		}),
+		// cache_low_hit is keyed by node: the windowed miss ratio of its
+		// hot-file cache, suppressed until the window holds enough
+		// lookups to mean something. Both substrates publish the same
+		// sweb_cache_* counters, so one rule reads either.
+		hy("cache_low_hit", cfg.CacheMissRatio, func(v *View) map[string]float64 {
+			out := make(map[string]float64)
+			for _, n := range v.Nodes {
+				if !v.up(n) {
+					continue
+				}
+				hits := Delta(v.Store.Points("sweb_cache_hits_total", metrics.Labels{"node": n}), v.From, v.To)
+				misses := Delta(v.Store.Points("sweb_cache_misses_total", metrics.Labels{"node": n}), v.From, v.To)
+				if hits+misses < cfg.CacheMinLookups {
+					out[n] = 0
+					continue
+				}
+				out[n] = misses / (hits + misses)
+			}
+			return out
 		}),
 		hy("prediction_drift", cfg.PredictionErrorSeconds, func(v *View) map[string]float64 {
 			var absErr, compared float64

@@ -59,6 +59,22 @@ func newSimMetrics(c *Cluster, x int) *simMetrics {
 		func() float64 { _, _, nic := c.nodes[x].LoadVector(); return float64(nic) })
 	reg.CounterFunc("sweb_bytes_out_total", "response body bytes written", nil,
 		func() float64 { return float64(m.bytesOut) })
+	// Page-cache families, mirroring the live sweb_cache_* exposition.
+	// The DES runs one request at a time, so misses never coalesce and
+	// singleflight_shared stays a constant 0 — published anyway to keep
+	// the family set identical across substrates.
+	reg.CounterFunc("sweb_cache_hits_total", "page-cache lookups served from memory", nil,
+		func() float64 { h, _ := c.nodes[x].Cache.Stats(); return float64(h) })
+	reg.CounterFunc("sweb_cache_misses_total", "page-cache lookups that missed", nil,
+		func() float64 { _, mi := c.nodes[x].Cache.Stats(); return float64(mi) })
+	reg.CounterFunc("sweb_cache_evictions_total", "entries displaced by the LRU policy", nil,
+		func() float64 { return float64(c.nodes[x].Cache.Evictions()) })
+	reg.CounterFunc("sweb_cache_singleflight_shared_total", "fills shared by coalesced concurrent misses", nil,
+		func() float64 { return 0 })
+	reg.GaugeFunc("sweb_cache_bytes", "bytes resident in the page cache", nil,
+		func() float64 { return float64(c.nodes[x].Cache.Used()) })
+	reg.GaugeFunc("sweb_cache_capacity_bytes", "page-cache capacity", nil,
+		func() float64 { return float64(c.nodes[x].Cache.Capacity()) })
 	for peer := range c.cfg.Specs {
 		if peer == x {
 			continue
