@@ -1,13 +1,17 @@
 package sweb_test
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
 	"sweb"
 	"sweb/internal/cache"
+	"sweb/internal/httpd"
 	"sweb/internal/live"
+	"sweb/internal/metrics"
 	"sweb/internal/storage"
+	"sweb/internal/trace"
 )
 
 // One benchmark per table/figure in the paper's evaluation. Each iteration
@@ -391,6 +395,147 @@ func BenchmarkServeHotSet(b *testing.B) {
 		b.ReportMetric(cachedRPS/uncachedRPS, "cache-speedup")
 		b.ReportMetric(hitRate, "hot-hit-rate")
 		b.ReportMetric(missPct, "hot-miss-pct")
+	}
+}
+
+// BenchmarkServeKeepAlive measures the persistent-connection data plane.
+// Part one is the headline: one node serving a small hot document to a
+// single client, HTTP/1.1 keep-alive (every fetch rides one TCP
+// connection) against the old one-shot discipline (dial, fetch, close per
+// request). The whole saving is the connection setup/teardown the paper's
+// phase model charges to every request, so keepalive-rps must be a
+// multiple of serial-rps. Part two prices the same saving on the redirect
+// hop: under file locality a misdirected request bounces to the owner via
+// a 302, and the owner's redirect_hop histogram measures 302-sent to
+// follow-up-arrived. A keep-alive client already holds a connection to
+// the owner, so the warm hop drops the handshake that the cold (fresh
+// client per fetch) hop pays.
+func BenchmarkServeKeepAlive(b *testing.B) {
+	const (
+		docBytes = 4 << 10
+		fetches  = 600
+		hops     = 200
+	)
+	runServe := func() (kaRPS, serialRPS float64) {
+		st := storage.NewStore(1)
+		paths := storage.UniformSet(st, 4, docBytes)
+		cl, err := live.Start(live.Options{Nodes: 1, Store: st, BaseDir: b.TempDir(),
+			Policy: "rr", Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		client := cl.NewClient()
+		defer client.Close()
+		run := func() float64 {
+			start := time.Now()
+			for i := 0; i < fetches; i++ {
+				res, err := client.Get(paths[i%len(paths)])
+				if err != nil || res.Status != 200 {
+					b.Fatalf("fetch %d: res=%+v err=%v", i, res, err)
+				}
+			}
+			return float64(fetches) / time.Since(start).Seconds()
+		}
+		run() // warm the cache and the parked connection
+		kaRPS = run()
+		client.SetKeepAlive(false) // the old discipline: dial per request
+		serialRPS = run()
+		return kaRPS, serialRPS
+	}
+
+	// hopMean scrapes the owner's redirect_hop histogram and returns the
+	// mean observed hop in seconds along with the observation count.
+	hopMean := func(srv *httpd.Server) (sum, count float64) {
+		var buf bytes.Buffer
+		if err := srv.Registry().WriteText(&buf); err != nil {
+			b.Fatal(err)
+		}
+		samples, err := metrics.ParseText(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range samples {
+			if s.Labels["phase"] != "redirect_hop" {
+				continue
+			}
+			switch s.Name {
+			case "sweb_phase_seconds_sum":
+				sum = s.Value
+			case "sweb_phase_seconds_count":
+				count = s.Value
+			}
+		}
+		return sum, count
+	}
+	runHops := func() (coldUS, warmUS float64) {
+		const doc = "/hop/doc.html"
+		st := storage.NewStore(2)
+		st.MustAdd(storage.File{Path: doc, Size: docBytes, Owner: 1})
+		st.MustAdd(storage.File{Path: "/hop/local.html", Size: docBytes, Owner: 0})
+		cl, err := live.Start(live.Options{Nodes: 2, Store: st, BaseDir: b.TempDir(),
+			Policy: "fl", Trace: trace.NewRecorder(0), Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		// Wait until node 0 has learned the ownership map and redirects.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			probe := cl.NewClient()
+			res, err := probe.GetVia(0, doc)
+			probe.Close()
+			if err == nil && res.Status == 200 && res.Redirected {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("node 0 never redirected: res=%+v err=%v", res, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		owner := cl.Servers[1]
+		measure := func(fetch func(i int)) float64 {
+			s0, c0 := hopMean(owner)
+			for i := 0; i < hops; i++ {
+				fetch(i)
+			}
+			s1, c1 := hopMean(owner)
+			if c1 <= c0 {
+				b.Fatalf("no redirect_hop observations (count %v -> %v)", c0, c1)
+			}
+			return 1e6 * (s1 - s0) / (c1 - c0)
+		}
+		coldUS = measure(func(i int) {
+			// A fresh client per fetch: the hop pays the TCP handshake.
+			client := cl.NewClient()
+			defer client.Close()
+			if res, err := client.GetVia(0, doc); err != nil || res.Status != 200 {
+				b.Fatalf("cold hop %d: res=%+v err=%v", i, res, err)
+			}
+		})
+		client := cl.NewClient()
+		defer client.Close()
+		if res, err := client.GetVia(1, doc); err != nil || res.Status != 200 {
+			b.Fatalf("warm prime: res=%+v err=%v", res, err)
+		}
+		warmUS = measure(func(i int) {
+			// The parked connection to the owner turns the hop into a
+			// write on an open socket.
+			if res, err := client.GetVia(0, doc); err != nil || res.Status != 200 {
+				b.Fatalf("warm hop %d: res=%+v err=%v", i, res, err)
+			}
+		})
+		return coldUS, warmUS
+	}
+
+	for i := 0; i < b.N; i++ {
+		kaRPS, serialRPS := runServe()
+		coldUS, warmUS := runHops()
+		b.ReportMetric(kaRPS, "keepalive-rps")
+		b.ReportMetric(serialRPS, "serial-rps")
+		b.ReportMetric(kaRPS/serialRPS, "keepalive-speedup")
+		b.ReportMetric(coldUS, "cold-hop-us")
+		b.ReportMetric(warmUS, "warm-hop-us")
 	}
 }
 

@@ -1,5 +1,5 @@
-// Command swebd runs one live SWEB node: an HTTP/1.0 server with the
-// multi-faceted scheduler, gossiping load over UDP to its peers.
+// Command swebd runs one live SWEB node: an HTTP/1.1 keep-alive server
+// with the multi-faceted scheduler, gossiping load over UDP to its peers.
 //
 // Usage:
 //
@@ -58,6 +58,9 @@ func run() error {
 	loaddTimeout := flag.Duration("loadd-timeout", 8*time.Second, "peer broadcast silence before it is considered unavailable")
 	cacheBytes := flag.Int64("cache-bytes", httpd.DefaultCacheBytes, "hot-file cache capacity in bytes")
 	cacheOff := flag.Bool("cache-off", false, "disable the hot-file cache (every request pays the disk or the owner fetch)")
+	keepAlive := flag.Bool("keepalive", true, "serve multiple requests per connection (HTTP/1.1 persistent connections)")
+	keepAliveMax := flag.Int("keepalive-max", 0, "requests served per connection before it is closed (0: default 100, negative: unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "how long a keep-alive connection may sit idle between requests (0: default 15s)")
 	metricsOn := flag.Bool("metrics", true, "serve /sweb/status and /sweb/metrics on the HTTP listener")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty disables)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) JSON of this node's spans here on shutdown (enables tracing)")
@@ -116,6 +119,9 @@ func run() error {
 		LoaddTimeout:   *loaddTimeout,
 		CacheBytes:     *cacheBytes,
 		CacheOff:       *cacheOff,
+		KeepAliveOff:   !*keepAlive,
+		KeepAliveMax:   *keepAliveMax,
+		IdleTimeout:    *idleTimeout,
 
 		DisableIntrospection: !*metricsOn,
 	}

@@ -32,6 +32,7 @@ func main() {
 	seconds := flag.Int("seconds", 30, "test duration")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	seed := flag.Int64("seed", 1, "random seed")
+	keepAlive := flag.Bool("keepalive", true, "reuse connections across requests (HTTP/1.1 persistent connections)")
 	flag.Parse()
 
 	hosts := splitNonEmpty(*servers)
@@ -50,6 +51,9 @@ func main() {
 	total := *rps * *seconds
 	outcomes := make([]outcome, total)
 
+	pool := newConnPool(*keepAlive)
+	defer pool.closeAll()
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	idx := 0
@@ -65,7 +69,7 @@ func main() {
 			go func() {
 				defer wg.Done()
 				t0 := time.Now()
-				ok, redirected := fetch(host, path, *timeout)
+				ok, redirected := fetch(pool, host, path, *timeout)
 				outcomes[i] = outcome{ok: ok, redirected: redirected, elapsed: time.Since(t0)}
 			}()
 		}
@@ -111,25 +115,117 @@ func splitNonEmpty(s string) []string {
 	return out
 }
 
-// fetch performs one GET, following up to 4 redirects.
-func fetch(addr, pathAndQuery string, timeout time.Duration) (ok, redirected bool) {
-	for hop := 0; hop < 4; hop++ {
-		conn, err := net.DialTimeout("tcp", addr, timeout)
-		if err != nil {
-			return false, redirected
+// pconn is one parked keep-alive connection with its response parser.
+type pconn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+// connPool parks idle keep-alive connections per server address so that a
+// generator goroutine's next request — including the follow-up after a
+// redirect — skips the TCP handshake. With keepAlive off it parks nothing
+// and every fetch dials fresh.
+type connPool struct {
+	mu        sync.Mutex
+	idle      map[string][]*pconn
+	keepAlive bool
+}
+
+func newConnPool(keepAlive bool) *connPool {
+	return &connPool{idle: make(map[string][]*pconn), keepAlive: keepAlive}
+}
+
+func (p *connPool) get(addr string) *pconn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	list := p.idle[addr]
+	if len(list) == 0 {
+		return nil
+	}
+	pc := list[len(list)-1]
+	p.idle[addr] = list[:len(list)-1]
+	return pc
+}
+
+func (p *connPool) put(addr string, pc *pconn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.keepAlive || len(p.idle[addr]) >= 64 {
+		pc.c.Close()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], pc)
+}
+
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for addr, list := range p.idle {
+		for _, pc := range list {
+			pc.c.Close()
 		}
-		_ = conn.SetDeadline(time.Now().Add(timeout))
+		delete(p.idle, addr)
+	}
+}
+
+// exchangeOnce runs one request/response on addr, pooled connection first
+// with a fresh-dial retry when the parked one went stale.
+func exchangeOnce(pool *connPool, addr string, req *httpmsg.Request, timeout time.Duration) (*httpmsg.Response, error) {
+	if pc := pool.get(addr); pc != nil {
+		if resp, err := tryExchange(pc, req, timeout); err == nil {
+			finishExchange(pool, addr, pc, resp)
+			return resp, nil
+		}
+		pc.c.Close()
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	pc := &pconn{c: conn, br: bufio.NewReader(conn)}
+	resp, err := tryExchange(pc, req, timeout)
+	if err != nil {
+		pc.c.Close()
+		return nil, err
+	}
+	finishExchange(pool, addr, pc, resp)
+	return resp, nil
+}
+
+func tryExchange(pc *pconn, req *httpmsg.Request, timeout time.Duration) (*httpmsg.Response, error) {
+	_ = pc.c.SetDeadline(time.Now().Add(timeout))
+	if err := req.Write(pc.c); err != nil {
+		return nil, err
+	}
+	return httpmsg.ReadResponse(pc.br, 128<<20)
+}
+
+// finishExchange parks the connection when the response framing left it
+// positioned at the next response; otherwise the connection is spent.
+func finishExchange(pool *connPool, addr string, pc *pconn, resp *httpmsg.Response) {
+	if resp.KeepAlive() && resp.SelfDelimited() {
+		pool.put(addr, pc)
+	} else {
+		pc.c.Close()
+	}
+}
+
+// fetch performs one GET, following up to 4 redirects.
+func fetch(pool *connPool, addr, pathAndQuery string, timeout time.Duration) (ok, redirected bool) {
+	for hop := 0; hop < 4; hop++ {
 		p, q := pathAndQuery, ""
 		if i := strings.IndexByte(pathAndQuery, '?'); i >= 0 {
 			p, q = pathAndQuery[:i], pathAndQuery[i+1:]
 		}
-		req := &httpmsg.Request{Method: "GET", Path: p, Query: q, Header: httpmsg.Header{}}
-		if err := req.Write(conn); err != nil {
-			conn.Close()
-			return false, redirected
+		if dp, err := httpmsg.DecodePath(p); err == nil {
+			p = dp // redirect Locations arrive percent-escaped
 		}
-		resp, err := httpmsg.ReadResponse(bufio.NewReader(conn), 128<<20)
-		conn.Close()
+		req := &httpmsg.Request{Method: "GET", Path: p, Query: q, Header: httpmsg.Header{}}
+		if pool.keepAlive {
+			req.Proto = "HTTP/1.1"
+			req.Header.Set("Connection", "keep-alive")
+		}
+		resp, err := exchangeOnce(pool, addr, req, timeout)
 		if err != nil {
 			return false, redirected
 		}

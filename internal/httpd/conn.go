@@ -1,0 +1,116 @@
+package httpd
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"sweb/internal/httpmsg"
+)
+
+// reqConn is one client connection's serving state: the buffered reader
+// requests are parsed from, the protocol version the current response must
+// echo, and the keep-alive decision the serve loop made for it. The
+// fulfillment paths write responses through it so every response carries a
+// truthful Connection header.
+type reqConn struct {
+	s         *Server
+	c         net.Conn
+	br        *bufio.Reader
+	proto     string // response protocol version, echoing the request
+	keepAlive bool   // whether the connection survives the current response
+	served    int    // requests answered on this connection so far
+}
+
+// connHeader renders the Connection header for the loop's current decision.
+func (rc *reqConn) connHeader() string {
+	if rc.keepAlive {
+		return "keep-alive"
+	}
+	return "close"
+}
+
+// simple writes a complete small response (errors, redirects, 304s),
+// stamped with the serve loop's keep-alive decision. A failed write spends
+// the connection.
+func (rc *reqConn) simple(code int, h httpmsg.Header, body []byte) error {
+	if h == nil {
+		h = httpmsg.Header{}
+	}
+	h.Set("Connection", rc.connHeader())
+	err := httpmsg.WriteProtoSimpleResponse(rc.c, rc.proto, code, h, body)
+	if err != nil {
+		rc.keepAlive = false
+	}
+	return err
+}
+
+// fail records a mid-response write failure. The response framing is now
+// indeterminate, so the connection cannot carry another request.
+func (rc *reqConn) fail() int {
+	rc.s.errors.Add(1)
+	rc.s.drop("write_failed")
+	rc.keepAlive = false
+	return 0
+}
+
+// isDraining reports whether graceful shutdown has begun; the serve loop
+// stops renewing keep-alive from that point.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// serveConn runs the persistent-connection serve loop: park in an idle
+// read between requests, then give each request its own read and write
+// budgets. This replaces the old one-request-per-connection handle with
+// its single whole-connection deadline — a keep-alive client now pays the
+// TCP handshake once, which is exactly the saving the paper's t_redirection
+// term wants after a 302.
+func (s *Server) serveConn(c net.Conn) {
+	rc := &reqConn{s: s, c: c, br: bufio.NewReader(c), proto: "HTTP/1.0"}
+	for {
+		// Idle wait: the peer may keep the connection open up to
+		// IdleTimeout between requests. Pipelined bytes already buffered
+		// make the peek free.
+		_ = c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if _, err := rc.br.Peek(1); err != nil {
+			// Clean close, idle timeout, or reset between requests:
+			// nothing was promised, nothing to answer.
+			return
+		}
+		t0 := time.Now()
+		_ = c.SetReadDeadline(t0.Add(connTimeout))
+		req, err := httpmsg.ReadRequest(rc.br)
+		if err != nil {
+			rc.keepAlive = false
+			s.errors.Add(1)
+			s.badRequests.Add(1)
+			s.drop("bad_request")
+			_ = c.SetWriteDeadline(time.Now().Add(connTimeout))
+			_ = rc.simple(httpmsg.StatusBadRequest, nil,
+				httpmsg.ErrorBody(httpmsg.StatusBadRequest, err.Error()))
+			s.logAccess(c, nil, httpmsg.StatusBadRequest, -1)
+			return
+		}
+		rc.served++
+		rc.proto = "HTTP/1.0"
+		if req.Proto == "HTTP/1.1" {
+			rc.proto = "HTTP/1.1"
+		}
+		rc.keepAlive = !s.cfg.KeepAliveOff && req.KeepAlive() &&
+			(s.cfg.KeepAliveMax <= 0 || rc.served < s.cfg.KeepAliveMax) &&
+			!s.isDraining()
+		_ = c.SetWriteDeadline(time.Now().Add(connTimeout))
+		s.reqActive.Add(1)
+		s.handle(rc, req, t0)
+		s.reqActive.Add(-1)
+		if !rc.keepAlive || s.isDraining() {
+			return
+		}
+	}
+}

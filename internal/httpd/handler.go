@@ -49,9 +49,10 @@ const (
 )
 
 // acceptLoop is the NCSA-style accept loop; each connection gets its own
-// handler goroutine (Go's stand-in for fork-per-request).
+// serve-loop goroutine (Go's stand-in for fork-per-request).
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	errStreak := 0
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -64,9 +65,17 @@ func (s *Server) acceptLoop() {
 				// from spinning on the dead listener during the drain.
 				return
 			default:
-				continue
 			}
+			// Back off on repeated transient errors (EMFILE, ECONNABORTED)
+			// instead of hot-spinning the core, the same capped streak the
+			// loadd listener uses; it resets on the next good accept.
+			errStreak++
+			if errStreak > 1 {
+				time.Sleep(retry.Backoff(errStreak-1, time.Millisecond, 100*time.Millisecond))
+			}
+			continue
 		}
+		errStreak = 0
 		if s.inflight.Load() >= int64(s.cfg.MaxConcurrent) {
 			// Accept capacity exhausted: shed the connection, the live
 			// analogue of a dropped request. The courtesy 503 goes out on
@@ -85,6 +94,7 @@ func (s *Server) acceptLoop() {
 				_ = c.SetWriteDeadline(time.Now().Add(shedWriteTimeout))
 				h := httpmsg.Header{}
 				h.Set("Retry-After", s.retryAfterSeconds())
+				h.Set("Connection", "close")
 				_ = httpmsg.WriteSimpleResponse(c, httpmsg.StatusServiceUnavailable, h,
 					httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "Server too busy."))
 				s.logAccess(c, nil, httpmsg.StatusServiceUnavailable, -1)
@@ -98,8 +108,9 @@ func (s *Server) acceptLoop() {
 			defer s.wg.Done()
 			defer s.inflight.Add(-1)
 			defer conn.Close()
-			_ = conn.SetDeadline(time.Now().Add(connTimeout))
-			s.handle(conn)
+			s.trackConn(conn)
+			defer s.untrackConn(conn)
+			s.serveConn(conn)
 		}()
 	}
 }
@@ -134,25 +145,13 @@ func (s *Server) logAccess(conn net.Conn, req *httpmsg.Request, status int, byte
 	_ = s.cfg.AccessLog.Log(e)
 }
 
-// handle runs the four-phase lifecycle for one connection, timing each
-// phase and emitting the same trace events the simulator does. Internal
-// fetches stay invisible to trace and the lifecycle metrics: they are the
-// tail of another node's fetch-nfs span, not requests of their own.
-func (s *Server) handle(conn net.Conn) {
-	t0 := time.Now()
-	br := bufio.NewReader(conn)
-
-	// Phase 1: preprocess — parse the HTTP commands and complete the path.
-	req, err := httpmsg.ReadRequest(br)
-	if err != nil {
-		s.errors.Add(1)
-		s.badRequests.Add(1)
-		s.drop("bad_request")
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusBadRequest, nil,
-			httpmsg.ErrorBody(httpmsg.StatusBadRequest, err.Error()))
-		s.logAccess(conn, nil, httpmsg.StatusBadRequest, -1)
-		return
-	}
+// handle runs the four-phase lifecycle for one parsed request, timing each
+// phase and emitting the same trace events the simulator does. t0 is the
+// moment the request's first byte arrived (phase 1, preprocess, is the
+// parse the serve loop already ran). Internal fetches stay invisible to
+// trace and the lifecycle metrics: they are the tail of another node's
+// fetch-nfs span, not requests of their own.
+func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 	tParsed := time.Now()
 	internal := req.Header.Get(internalHeader) != ""
 
@@ -160,7 +159,7 @@ func (s *Server) handle(conn net.Conn) {
 	// fetches: rescheduling /sweb/status would report the wrong node.
 	if !internal && !s.cfg.DisableIntrospection && strings.HasPrefix(req.Path, introspectPrefix) {
 		s.introspect.Add(1)
-		s.serveIntrospection(conn, req)
+		s.serveIntrospection(rc, req)
 		return
 	}
 
@@ -203,9 +202,9 @@ func (s *Server) handle(conn net.Conn) {
 		if !internal {
 			s.drop("not_found")
 		}
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusNotFound, nil,
+		_ = rc.simple(httpmsg.StatusNotFound, nil,
 			httpmsg.ErrorBody(httpmsg.StatusNotFound, "The requested URL was not found on this server."))
-		s.logAccess(conn, req, httpmsg.StatusNotFound, -1)
+		s.logAccess(rc.c, req, httpmsg.StatusNotFound, -1)
 		return
 	}
 
@@ -219,7 +218,7 @@ func (s *Server) handle(conn net.Conn) {
 			jid, _ := rec.Begin(id)
 			rec.Record(jid, s.sinceEpoch(time.Now()), trace.EvFetchLocal, s.cfg.ID, "internal=1")
 		}
-		s.serveLocalFile(conn, req, file)
+		s.serveLocalFile(rc, req, file)
 		return
 	}
 
@@ -262,7 +261,7 @@ func (s *Server) handle(conn net.Conn) {
 					formatTraceContext(tctx, time.Now().UnixMicro()))
 				h := httpmsg.Header{}
 				h.Set("Location", loc)
-				err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusMovedTemporarily, h,
+				err := rc.simple(httpmsg.StatusMovedTemporarily, h,
 					httpmsg.ErrorBody(httpmsg.StatusMovedTemporarily,
 						`The document has moved <A HREF="`+loc+`">here</A>.`))
 				if err != nil {
@@ -293,7 +292,7 @@ func (s *Server) handle(conn net.Conn) {
 					AnalyzeSeconds:   tAnalyzed.Sub(tParsed).Seconds(),
 					Candidates:       sanitizeCandidates(dec.Candidates),
 				})
-				s.logAccess(conn, req, httpmsg.StatusMovedTemporarily, -1)
+				s.logAccess(rc.c, req, httpmsg.StatusMovedTemporarily, -1)
 				return
 			}
 		}
@@ -315,7 +314,7 @@ func (s *Server) handle(conn net.Conn) {
 	case isCGI:
 		s.nm.event(trace.EvCGI)
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvCGI, s.cfg.ID, "path="+req.Path)
-		status = s.serveCGI(conn, req, cgiFn)
+		status = s.serveCGI(rc, req, cgiFn)
 		s.nm.phase("cgi", time.Since(tFulfill).Seconds())
 	case cacheHit:
 		// Hot-file hit: a memory copy — no disk read, and for a foreign
@@ -323,18 +322,18 @@ func (s *Server) handle(conn net.Conn) {
 		// serving even while its owner is dead.
 		s.nm.event(trace.EvFetchLocal)
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchLocal, s.cfg.ID, "cache=hit")
-		status = s.writeEntry(conn, req, hot)
+		status = s.writeEntry(rc, req, hot)
 		s.nm.phase("fetch_local", time.Since(tFulfill).Seconds())
 	case file.Owner == s.cfg.ID:
 		s.nm.event(trace.EvFetchLocal)
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchLocal, s.cfg.ID, "")
-		status = s.serveLocalFile(conn, req, file)
+		status = s.serveLocalFile(rc, req, file)
 		s.nm.phase("fetch_local", time.Since(tFulfill).Seconds())
 	default:
 		s.nm.event(trace.EvFetchNFS)
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchNFS, s.cfg.ID,
 			fmt.Sprintf("owner=%d", file.Owner))
-		status = s.serveRemoteFile(conn, req, file, tctx)
+		status = s.serveRemoteFile(rc, req, file, tctx)
 		s.nm.phase("fetch_nfs", time.Since(tFulfill).Seconds())
 	}
 	done := time.Now()
@@ -400,13 +399,15 @@ func (s *Server) confirmTarget(dec core.Decision) int {
 // redirectLocation rebuilds the client's URL pointing at a peer, keeping
 // every original query parameter and replacing only the swebr counter and
 // the swebt trace context, so `GET /doc?x=1` arrives at the target node
-// still carrying `x=1`. traceCtx is the rendered swebt value ("" omits
-// the parameter: tracing is off and no upstream context arrived).
+// still carrying `x=1`. The decoded path is re-escaped into wire form — a
+// document name with a space or '%' must not produce a malformed Location.
+// traceCtx is the rendered swebt value ("" omits the parameter: tracing is
+// off and no upstream context arrived).
 func redirectLocation(httpAddr, path, query string, redirects int, traceCtx string) string {
 	var b strings.Builder
 	b.WriteString("http://")
 	b.WriteString(httpAddr)
-	b.WriteString(path)
+	b.WriteString(httpmsg.EscapePath(path))
 	sep := byte('?')
 	for _, kv := range strings.Split(query, "&") {
 		if kv == "" || strings.HasPrefix(kv, redirectParam+"=") ||
@@ -509,7 +510,8 @@ func (s *Server) cacheable(file storage.File) bool {
 }
 
 // snapshotLoads builds the broker's view, refreshing the self row from
-// live counters.
+// live counters. CPULoad counts requests being processed right now, not
+// open connections — a parked keep-alive connection is not load.
 func (s *Server) snapshotLoads() []core.NodeLoad {
 	s.peersMu.RLock()
 	n := 0
@@ -525,7 +527,7 @@ func (s *Server) snapshotLoads() []core.NodeLoad {
 	loads := s.table.Snapshot(n, s.nowSec())
 	loads[s.cfg.ID] = core.NodeLoad{
 		Available:       true,
-		CPULoad:         float64(s.inflight.Load()),
+		CPULoad:         float64(s.reqActive.Load()),
 		DiskLoad:        float64(s.diskActive.Load()),
 		NetLoad:         float64(s.netActive.Load()),
 		CPUOpsPerSec:    s.cfg.CPUOpsPerSec,
@@ -566,9 +568,9 @@ func (s *Server) localPath(urlPath string) string {
 // server inserts on a remote read. The cache lookup here is quiet (no
 // hit/miss accounting): the client-facing counted lookup already ran in
 // handle, and internal fetches mirror the simulator's stat-free Peek.
-func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storage.File) int {
+func (s *Server) serveLocalFile(rc *reqConn, req *httpmsg.Request, file storage.File) int {
 	if !s.cacheable(file) {
-		return s.streamLocalFile(conn, req)
+		return s.streamLocalFile(rc, req)
 	}
 	ent, err := s.cache.Fetch(req.Path, s.localCheck(req.Path), func() (cache.Entry, error) {
 		return s.readLocalFile(req.Path)
@@ -580,10 +582,10 @@ func (s *Server) serveLocalFile(conn net.Conn, req *httpmsg.Request, file storag
 		if os.IsPermission(err) {
 			code = httpmsg.StatusForbidden
 		}
-		_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, "Cannot open document."))
+		_ = rc.simple(code, nil, httpmsg.ErrorBody(code, "Cannot open document."))
 		return code
 	}
-	return s.writeEntry(conn, req, ent)
+	return s.writeEntry(rc, req, ent)
 }
 
 // readLocalFile is the cache's backing read: the whole document in one
@@ -605,19 +607,20 @@ func (s *Server) readLocalFile(path string) (cache.Entry, error) {
 }
 
 // writeEntry answers a request from a memory-resident entry: conditional
-// GETs revalidate against the entry's mtime (absent for relayed bodies,
-// which never carry one), full responses stream from the cached bytes with
-// no diskActive — the whole point of the hit path.
-func (s *Server) writeEntry(conn net.Conn, req *httpmsg.Request, ent cache.Entry) int {
+// GETs revalidate against the entry's mtime (local files and relayed
+// bodies alike — the relay path now carries the owner's Last-Modified into
+// the entry), full responses stream from the cached bytes with no
+// diskActive — the whole point of the hit path.
+func (s *Server) writeEntry(rc *reqConn, req *httpmsg.Request, ent cache.Entry) int {
 	if !ent.ModTime.IsZero() && httpmsg.NotModified(req.Header.Get("If-Modified-Since"), ent.ModTime) {
 		h := httpmsg.Header{}
 		h.Set("Last-Modified", httpmsg.FormatHTTPDate(ent.ModTime))
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusNotModified, h, nil)
+		_ = rc.simple(httpmsg.StatusNotModified, h, nil)
 		s.served.Add(1)
-		s.logAccess(conn, req, httpmsg.StatusNotModified, -1)
+		s.logAccess(rc.c, req, httpmsg.StatusNotModified, -1)
 		return httpmsg.StatusNotModified
 	}
-	return s.streamResponse(conn, req, int64(len(ent.Body)), bytes.NewReader(ent.Body), ent.ModTime)
+	return s.streamResponse(rc, req, int64(len(ent.Body)), bytes.NewReader(ent.Body), ent.ModTime)
 }
 
 // streamLocalFile streams a document from the node's own disk, bypassing
@@ -625,7 +628,7 @@ func (s *Server) writeEntry(conn net.Conn, req *httpmsg.Request, ent cache.Entry
 // diskActive is held for the whole transfer — the disk is read as the body
 // streams, so releasing the counter at open time would hide disk pressure
 // from the scheduler exactly while the disk is busiest.
-func (s *Server) streamLocalFile(conn net.Conn, req *httpmsg.Request) int {
+func (s *Server) streamLocalFile(rc *reqConn, req *httpmsg.Request) int {
 	s.diskActive.Add(1)
 	defer s.diskActive.Add(-1)
 	f, err := os.Open(s.localPath(req.Path))
@@ -636,7 +639,7 @@ func (s *Server) streamLocalFile(conn net.Conn, req *httpmsg.Request) int {
 		if os.IsPermission(err) {
 			code = httpmsg.StatusForbidden
 		}
-		_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, "Cannot open document."))
+		_ = rc.simple(code, nil, httpmsg.ErrorBody(code, "Cannot open document."))
 		return code
 	}
 	defer f.Close()
@@ -644,7 +647,7 @@ func (s *Server) streamLocalFile(conn net.Conn, req *httpmsg.Request) int {
 	if err != nil {
 		s.errors.Add(1)
 		s.drop("local_io")
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusInternalServerError, nil,
+		_ = rc.simple(httpmsg.StatusInternalServerError, nil,
 			httpmsg.ErrorBody(httpmsg.StatusInternalServerError, "stat failed"))
 		return httpmsg.StatusInternalServerError
 	}
@@ -654,165 +657,145 @@ func (s *Server) streamLocalFile(conn net.Conn, req *httpmsg.Request) int {
 	if httpmsg.NotModified(req.Header.Get("If-Modified-Since"), fi.ModTime()) {
 		h := httpmsg.Header{}
 		h.Set("Last-Modified", httpmsg.FormatHTTPDate(fi.ModTime()))
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusNotModified, h, nil)
+		_ = rc.simple(httpmsg.StatusNotModified, h, nil)
 		s.served.Add(1)
-		s.logAccess(conn, req, httpmsg.StatusNotModified, -1)
+		s.logAccess(rc.c, req, httpmsg.StatusNotModified, -1)
 		return httpmsg.StatusNotModified
 	}
-	return s.streamResponse(conn, req, fi.Size(), f, fi.ModTime())
+	// The body streams straight from the open *os.File through a pooled
+	// copy buffer — the document is never materialized in one allocation.
+	return s.streamResponse(rc, req, fi.Size(), f, fi.ModTime())
 }
 
 // serveRemoteFile fetches the document from its owner (the NFS stand-in)
-// and relays it to the client, caching the relayed body so the next
-// request for it is a memory hit instead of another cross-mount round
-// trip; concurrent requests for the same cold document coalesce into one
-// fetch (singleflight). The fetch runs under the node's retry budget — a
-// dead owner is retried with capped, jittered backoff and each failure
-// feeds the loadd health view — and only once the budget is spent does the
-// client see the degradation ladder's last rung: 503 with a Retry-After
-// hint.
-func (s *Server) serveRemoteFile(conn net.Conn, req *httpmsg.Request, file storage.File, tctx trace.TraceID) int {
+// and relays it to the client. Cacheable documents are materialized into
+// the hot-file cache — with the owner's Last-Modified preserved so clients
+// can 304-revalidate foreign documents — and concurrent requests for the
+// same cold document coalesce into one fetch (singleflight). Documents too
+// big for the cache stream straight from the owner's socket to the client
+// without ever being held in memory. Either way the fetch runs under the
+// node's retry budget — a dead owner is retried with capped, jittered
+// backoff and each failure feeds the loadd health view — and only once the
+// budget is spent does the client see the degradation ladder's last rung:
+// 503 with a Retry-After hint.
+func (s *Server) serveRemoteFile(rc *reqConn, req *httpmsg.Request, file storage.File, tctx trace.TraceID) int {
 	peer, ok := s.peerByID(file.Owner)
 	if !ok {
 		s.errors.Add(1)
 		s.drop("owner_unknown")
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusInternalServerError, nil,
+		_ = rc.simple(httpmsg.StatusInternalServerError, nil,
 			httpmsg.ErrorBody(httpmsg.StatusInternalServerError, "owner unknown"))
 		return httpmsg.StatusInternalServerError
 	}
 	s.netActive.Add(1)
 	defer s.netActive.Add(-1)
-	fetch := func() (cache.Entry, error) {
-		s.internalFetch.Add(1)
-		pol := retry.Policy{
-			MaxAttempts: s.cfg.FetchAttempts,
-			BaseDelay:   s.cfg.FetchBackoff,
-			MaxDelay:    2 * time.Second,
-			Jitter:      0.2,
-			Budget:      connTimeout / 2,
-		}
-		var resp *httpmsg.Response
-		err := pol.Do(s.closed, func(int) error {
-			r, ferr := s.fetchFromPeer(peer, req.Path, tctx)
-			if ferr != nil {
-				s.table.MarkFailure(file.Owner)
-				return ferr
-			}
-			resp = r
-			return nil
-		})
-		if err != nil {
-			return cache.Entry{}, err
-		}
-		s.table.MarkSuccess(file.Owner)
-		return cache.Entry{Path: req.Path, Body: resp.Body}, nil
+	if !s.cacheable(file) {
+		return s.relayStream(rc, req, peer, file, tctx)
 	}
-	var ent cache.Entry
-	var err error
-	if s.cacheable(file) {
-		ent, err = s.cache.Fetch(req.Path, s.entryCheck(req.Path, file), fetch)
-	} else {
-		ent, err = fetch()
-	}
+	ent, err := s.cache.Fetch(req.Path, s.entryCheck(req.Path, file), func() (cache.Entry, error) {
+		resp, ferr := s.fetchWithRetry(peer, file.Owner, req.Path, tctx)
+		if ferr != nil {
+			return cache.Entry{}, ferr
+		}
+		return cache.Entry{Path: req.Path, Body: resp.Body, ModTime: lastModified(resp.Header)}, nil
+	})
 	if err != nil {
-		s.errors.Add(1)
-		s.fetchFailed.Add(1)
-		s.drop("owner_unreachable")
-		h := httpmsg.Header{}
-		h.Set("Retry-After", s.retryAfterSeconds())
-		_ = httpmsg.WriteSimpleResponse(conn, httpmsg.StatusServiceUnavailable, h,
-			httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner unreachable"))
-		s.logAccess(conn, req, httpmsg.StatusServiceUnavailable, -1)
-		return httpmsg.StatusServiceUnavailable
+		return s.degrade503(rc, req)
 	}
-	return s.streamResponse(conn, req, int64(len(ent.Body)), bytes.NewReader(ent.Body), time.Time{})
+	return s.writeEntry(rc, req, ent)
 }
 
-// fetchFromPeer performs one internal GET against the owning node,
-// carrying the originating request's trace so the owner's read joins it.
-func (s *Server) fetchFromPeer(peer Peer, path string, tctx trace.TraceID) (*httpmsg.Response, error) {
-	if delay := s.cfg.DialDelay; delay != nil {
-		if d := delay(); d > 0 {
-			time.Sleep(d)
-		}
-	}
-	up, err := net.DialTimeout("tcp", peer.HTTPAddr, s.cfg.FetchTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("dial owner %d: %w", peer.ID, err)
-	}
-	defer up.Close()
-	_ = up.SetDeadline(time.Now().Add(connTimeout))
-	ireq := &httpmsg.Request{Method: "GET", Path: path, Header: httpmsg.Header{}}
-	ireq.Header.Set(internalHeader, "1")
-	if tctx != "" {
-		ireq.Header.Set(traceHeader, string(tctx))
-	}
-	if err := ireq.Write(up); err != nil {
-		return nil, fmt.Errorf("write to owner %d: %w", peer.ID, err)
-	}
-	resp, err := httpmsg.ReadResponse(bufio.NewReader(up), 0)
-	if err != nil {
-		return nil, fmt.Errorf("read from owner %d: %w", peer.ID, err)
-	}
-	if resp.StatusCode != httpmsg.StatusOK {
-		return nil, fmt.Errorf("owner %d returned %d", peer.ID, resp.StatusCode)
-	}
-	return resp, nil
+// degrade503 answers the degradation ladder's last rung: the owner stayed
+// unreachable through the whole retry budget.
+func (s *Server) degrade503(rc *reqConn, req *httpmsg.Request) int {
+	s.errors.Add(1)
+	s.fetchFailed.Add(1)
+	s.drop("owner_unreachable")
+	h := httpmsg.Header{}
+	h.Set("Retry-After", s.retryAfterSeconds())
+	_ = rc.simple(httpmsg.StatusServiceUnavailable, h,
+		httpmsg.ErrorBody(httpmsg.StatusServiceUnavailable, "owner unreachable"))
+	s.logAccess(rc.c, req, httpmsg.StatusServiceUnavailable, -1)
+	return httpmsg.StatusServiceUnavailable
 }
 
 // serveCGI executes a registered dynamic endpoint, returning the status
 // written (0 when the write failed).
-func (s *Server) serveCGI(conn net.Conn, req *httpmsg.Request, fn CGIFunc) int {
+func (s *Server) serveCGI(rc *reqConn, req *httpmsg.Request, fn CGIFunc) int {
 	body, ctype := fn(req.Query, req.Body)
 	if ctype == "" {
 		ctype = "text/html"
 	}
 	h := httpmsg.Header{}
 	h.Set("Content-Type", ctype)
-	if err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusOK, h, body); err != nil {
+	if err := rc.simple(httpmsg.StatusOK, h, body); err != nil {
 		s.drop("write_failed")
 		return 0
 	}
 	s.served.Add(1)
 	s.bytesOut.Add(int64(len(body)))
-	s.logAccess(conn, req, httpmsg.StatusOK, int64(len(body)))
+	s.logAccess(rc.c, req, httpmsg.StatusOK, int64(len(body)))
 	return httpmsg.StatusOK
 }
 
 // streamResponse writes the response header and body in the httpd
-// write-loop style, returning the status written (0 when the write
-// failed mid-flight). A zero modTime omits Last-Modified (relayed
-// content).
-func (s *Server) streamResponse(conn net.Conn, req *httpmsg.Request, size int64, body io.Reader, modTime time.Time) int {
+// write-loop style, returning the status written (0 when the write failed
+// mid-flight, which also spends the connection). size < 0 means the length
+// is unknown up front: HTTP/1.1 clients get chunked transfer coding, and
+// HTTP/1.0 clients an EOF-delimited body on a connection marked close. A
+// zero modTime omits Last-Modified. The body crosses through a pooled copy
+// buffer; a HEAD response skips it entirely and logs zero body bytes.
+func (s *Server) streamResponse(rc *reqConn, req *httpmsg.Request, size int64, body io.Reader, modTime time.Time) int {
 	s.netActive.Add(1)
 	defer s.netActive.Add(-1)
-	bw := bufio.NewWriter(conn)
+	bw := bufio.NewWriter(rc.c)
 	h := httpmsg.Header{}
 	h.Set("Content-Type", httpmsg.ContentTypeFor(req.Path))
-	h.Set("Content-Length", strconv.FormatInt(size, 10))
+	chunked := false
+	switch {
+	case size >= 0:
+		h.Set("Content-Length", strconv.FormatInt(size, 10))
+	case rc.proto == "HTTP/1.1":
+		chunked = true
+		h.Set("Transfer-Encoding", "chunked")
+	default:
+		// Unknown length to a 1.0 client: the body runs to EOF, so this
+		// connection cannot carry another request.
+		rc.keepAlive = false
+	}
 	if !modTime.IsZero() {
 		h.Set("Last-Modified", httpmsg.FormatHTTPDate(modTime))
 	}
-	if err := httpmsg.WriteResponseHeader(bw, httpmsg.StatusOK, h); err != nil {
-		s.errors.Add(1)
-		s.drop("write_failed")
-		return 0
+	h.Set("Connection", rc.connHeader())
+	if err := httpmsg.WriteProtoResponseHeader(bw, rc.proto, httpmsg.StatusOK, h); err != nil {
+		return rc.fail()
 	}
+	var sent int64
 	if req.Method != "HEAD" {
-		n, err := io.Copy(bw, body)
-		s.bytesOut.Add(n)
+		var err error
+		switch {
+		case chunked:
+			cw := httpmsg.NewChunkedWriter(bw)
+			sent, err = httpmsg.CopyBody(cw, body)
+			if err == nil {
+				err = cw.Close()
+			}
+		case size >= 0:
+			sent, err = httpmsg.CopyBodyN(bw, body, size)
+		default:
+			sent, err = httpmsg.CopyBody(bw, body)
+		}
+		s.bytesOut.Add(sent)
 		if err != nil {
-			s.errors.Add(1)
-			s.drop("write_failed")
-			return 0
+			// Short or failed body: the client was promised different
+			// framing than it got, so the connection is unusable.
+			return rc.fail()
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		s.errors.Add(1)
-		s.drop("write_failed")
-		return 0
+		return rc.fail()
 	}
 	s.served.Add(1)
-	s.logAccess(conn, req, httpmsg.StatusOK, size)
+	s.logAccess(rc.c, req, httpmsg.StatusOK, sent)
 	return httpmsg.StatusOK
 }

@@ -112,7 +112,7 @@ func TestSnapshotLoadsSelfRowIsLive(t *testing.T) {
 	}
 	defer srv.Close()
 	srv.SetPeers([]Peer{{ID: 0, HTTPAddr: srv.Addr(), UDPAddr: srv.UDPAddr()}, {ID: 1, HTTPAddr: "x", UDPAddr: "y"}})
-	srv.inflight.Store(5)
+	srv.reqActive.Store(5)
 	loads := srv.snapshotLoads()
 	if len(loads) != 2 {
 		t.Fatalf("len = %d", len(loads))

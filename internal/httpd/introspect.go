@@ -3,7 +3,6 @@ package httpd
 import (
 	"bytes"
 	"encoding/json"
-	"net"
 	"time"
 
 	"sweb/internal/httpmsg"
@@ -153,7 +152,7 @@ func (s *Server) TraceDump() TraceDump {
 
 // serveIntrospection answers /sweb/status and /sweb/metrics on the main
 // listener and returns the status written.
-func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
+func (s *Server) serveIntrospection(rc *reqConn, req *httpmsg.Request) int {
 	var body []byte
 	ctype := metrics.ContentType
 	switch req.Path {
@@ -161,8 +160,8 @@ func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
 		b, err := json.MarshalIndent(s.StatusReport(), "", "  ")
 		if err != nil {
 			code := httpmsg.StatusInternalServerError
-			_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, err.Error()))
-			s.logAccess(conn, req, code, -1)
+			_ = rc.simple(code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(rc.c, req, code, -1)
 			return code
 		}
 		body, ctype = append(b, '\n'), "application/json"
@@ -170,8 +169,8 @@ func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
 		b, err := json.Marshal(s.TraceDump())
 		if err != nil {
 			code := httpmsg.StatusInternalServerError
-			_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, err.Error()))
-			s.logAccess(conn, req, code, -1)
+			_ = rc.simple(code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(rc.c, req, code, -1)
 			return code
 		}
 		body, ctype = append(b, '\n'), "application/json"
@@ -179,8 +178,8 @@ func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
 		var buf bytes.Buffer
 		if err := s.nm.reg.WriteText(&buf); err != nil {
 			code := httpmsg.StatusInternalServerError
-			_ = httpmsg.WriteSimpleResponse(conn, code, nil, httpmsg.ErrorBody(code, err.Error()))
-			s.logAccess(conn, req, code, -1)
+			_ = rc.simple(code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(rc.c, req, code, -1)
 			return code
 		}
 		body = buf.Bytes()
@@ -192,16 +191,16 @@ func (s *Server) serveIntrospection(conn net.Conn, req *httpmsg.Request) int {
 		}
 	default:
 		code := httpmsg.StatusNotFound
-		_ = httpmsg.WriteSimpleResponse(conn, code, nil,
+		_ = rc.simple(code, nil,
 			httpmsg.ErrorBody(code, "No such introspection endpoint."))
-		s.logAccess(conn, req, code, -1)
+		s.logAccess(rc.c, req, code, -1)
 		return code
 	}
 	h := httpmsg.Header{}
 	h.Set("Content-Type", ctype)
-	if err := httpmsg.WriteSimpleResponse(conn, httpmsg.StatusOK, h, body); err != nil {
+	if err := rc.simple(httpmsg.StatusOK, h, body); err != nil {
 		return 0
 	}
-	s.logAccess(conn, req, httpmsg.StatusOK, int64(len(body)))
+	s.logAccess(rc.c, req, httpmsg.StatusOK, int64(len(body)))
 	return httpmsg.StatusOK
 }

@@ -78,10 +78,16 @@ func newNodeMetrics(s *Server) *nodeMetrics {
 		absErr: reg.Histogram(mSchedAbsErr,
 			"absolute error |predicted - actual| of the broker's t_s", nil, nil),
 	}
-	reg.GaugeFunc("sweb_inflight", "connections being handled now", nil,
+	reg.GaugeFunc("sweb_inflight", "client connections open now (idle keep-alive included)", nil,
 		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("sweb_requests_active", "requests mid-lifecycle now (the load signal)", nil,
+		func() float64 { return float64(s.reqActive.Load()) })
 	reg.GaugeFunc("sweb_capacity", "concurrent-connection ceiling (MAXLOAD analogue)", nil,
 		func() float64 { return float64(s.cfg.MaxConcurrent) })
+	reg.CounterFunc("sweb_upstream_dials_total", "internal-fetch connections dialed", nil,
+		func() float64 { return float64(s.upstreamDials.Load()) })
+	reg.CounterFunc("sweb_upstream_reused_total", "internal fetches served over a pooled connection", nil,
+		func() float64 { return float64(s.upstreamReused.Load()) })
 	// Server-process health next to the modelled load: a node can look
 	// lightly loaded in SWEB terms while the Go runtime is drowning.
 	reg.Gauge("sweb_build_info", "build metadata; value is always 1",

@@ -1,11 +1,16 @@
 package httpd
 
 import (
+	"bufio"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"sweb/internal/httpmsg"
+	"sweb/internal/storage"
 	"sweb/internal/trace"
 )
 
@@ -77,6 +82,82 @@ func TestRedirectLocationProperty(t *testing.T) {
 			t.Fatalf("case %d: malformed second-hop location %q", i, loc2)
 		}
 		checkThreading(t, i, rest2, ordinary, redirects+2, wantID, micros2)
+	}
+}
+
+// TestRedirectLocationEscapesPath: a Location header is one line of the
+// response — a path with spaces (or any byte needing escaping) must leave
+// percent-encoded, and decoding the escaped form must round-trip to the
+// original path. The old code pasted the raw path into the URL; a client
+// following "GET /a b.html?swebr=1" then produced an unparseable request
+// line at the target node.
+func TestRedirectLocationEscapesPath(t *testing.T) {
+	cases := []string{
+		"/a b.html",
+		"/dir with spaces/doc.txt",
+		"/percent%file",
+		"/q?.html",
+		"/plain/doc.html",
+	}
+	for _, path := range cases {
+		loc := redirectLocation("peer:80", path, "", 0, "")
+		rest, ok := strings.CutPrefix(loc, "http://peer:80")
+		if !ok {
+			t.Fatalf("malformed location %q", loc)
+		}
+		escaped := rest[:strings.IndexByte(rest, '?')]
+		for _, bad := range []byte{' ', '?', '"'} {
+			if strings.IndexByte(escaped, bad) >= 0 {
+				t.Errorf("Location path %q for %q contains unescaped %q", escaped, path, bad)
+			}
+		}
+		decoded, err := httpmsg.DecodePath(escaped)
+		if err != nil {
+			t.Errorf("escaped path %q does not decode: %v", escaped, err)
+			continue
+		}
+		if decoded != path {
+			t.Errorf("escape round trip: %q -> %q -> %q", path, escaped, decoded)
+		}
+	}
+}
+
+// TestEscapedRedirectFollowThrough drives the full hop for a space-laden
+// path: the serving node's 302 must be followable verbatim — the target
+// parses the escaped path from the request line back to the same document.
+func TestEscapedRedirectFollowThrough(t *testing.T) {
+	const doc = "/spaced dir/a b.html"
+	st := storage.NewStore(1)
+	st.MustAdd(storage.File{Path: doc, Size: 512, Owner: 0})
+	cfg := Config{ID: 0, DocRoot: t.TempDir(), Store: st}
+	full := filepath.Join(cfg.DocRoot, "spaced dir", "a b.html")
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, make([]byte, 512), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.SetPeers([]Peer{{ID: 0, HTTPAddr: srv.Addr(), UDPAddr: srv.UDPAddr()}})
+	srv.Start()
+
+	// The exact URL a 302 would carry for this document: escaped path plus
+	// the bumped redirect counter. A client replays it verbatim as the
+	// request target, and the node must parse it back to the document.
+	loc := redirectLocation(srv.Addr(), doc, "", 0, "")
+	rest := strings.TrimPrefix(loc, "http://"+srv.Addr())
+	conn := dialNode(t, srv.Addr())
+	fmt.Fprintf(conn, "GET %s HTTP/1.0\r\n\r\n", rest)
+	resp, err := httpmsg.ReadResponse(bufio.NewReader(conn), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != httpmsg.StatusOK || len(resp.Body) != 512 {
+		t.Fatalf("follow-through = %d len=%d (target %q)", resp.StatusCode, len(resp.Body), rest)
 	}
 }
 

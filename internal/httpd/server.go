@@ -1,10 +1,11 @@
-// Package httpd is the live SWEB node: a from-scratch HTTP/1.0 server (in
-// the mold of the NCSA httpd 1.3 that SWEB was built on) that runs the
-// paper's four-phase request lifecycle — preprocess, analyze, redirect,
-// fulfill — against real TCP sockets, with the same core scheduling policies
-// and loadd tables as the simulator, gossiping load over UDP. File locality
-// is real: each node serves its own document root and fetches documents it
-// does not own from the owning peer over an internal HTTP request (the
+// Package httpd is the live SWEB node: a from-scratch HTTP server (in the
+// mold of the NCSA httpd 1.3 that SWEB was built on, extended with
+// HTTP/1.1 persistent connections) that runs the paper's four-phase
+// request lifecycle — preprocess, analyze, redirect, fulfill — against
+// real TCP sockets, with the same core scheduling policies and loadd
+// tables as the simulator, gossiping load over UDP. File locality is real:
+// each node serves its own document root and fetches documents it does not
+// own from the owning peer over pooled internal HTTP connections (the
 // NFS-cross-mount stand-in).
 package httpd
 
@@ -64,6 +65,17 @@ type Config struct {
 	// MaxConcurrent is the accept capacity; beyond it connections get 503
 	// (default 256).
 	MaxConcurrent int
+
+	// IdleTimeout is how long a keep-alive connection may sit idle between
+	// requests before the server closes it (default 15s).
+	IdleTimeout time.Duration
+	// KeepAliveMax caps the requests served per connection before the
+	// server answers Connection: close (default 100; <0 means unlimited).
+	KeepAliveMax int
+	// KeepAliveOff disables persistent connections entirely: every
+	// response carries Connection: close, restoring the one-request-per-
+	// connection behavior. The -keepalive=false ablation switch.
+	KeepAliveOff bool
 
 	// FetchAttempts is the attempt budget for internal fetches against a
 	// document's owner (default 3; 1 disables retry).
@@ -159,6 +171,12 @@ func (c *Config) fillDefaults() error {
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = 256
 	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 15 * time.Second
+	}
+	if c.KeepAliveMax == 0 {
+		c.KeepAliveMax = 100
+	}
 	if c.FetchAttempts == 0 {
 		c.FetchAttempts = 3
 	}
@@ -189,26 +207,31 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// Stats are the server's cumulative counters (Inflight is the only
-// instantaneous value). Drops maps a degradation cause ("shed",
-// "bad_request", "not_found", "owner_unreachable", ...) to its count —
-// the same cells the sweb_drops_total metric exposes.
+// Stats are the server's cumulative counters (Inflight and RequestsActive
+// are the only instantaneous values: open connections and requests being
+// processed right now — under keep-alive the two diverge). Drops maps a
+// degradation cause ("shed", "bad_request", "not_found",
+// "owner_unreachable", ...) to its count — the same cells the
+// sweb_drops_total metric exposes.
 type Stats struct {
-	Accepted      int64            `json:"accepted"`
-	Refused       int64            `json:"refused"`
-	Served        int64            `json:"served"`
-	Redirected    int64            `json:"redirected"`
-	InternalFetch int64            `json:"internal_fetch"`
-	Errors        int64            `json:"errors"`
-	BadRequests   int64            `json:"bad_requests"`
-	NotFound      int64            `json:"not_found"`
-	FetchFailed   int64            `json:"fetch_failed"`
-	Introspect    int64            `json:"introspect"`
-	BytesOut      int64            `json:"bytes_out"`
-	Inflight      int64            `json:"inflight"`
-	Broadcasts    int64            `json:"broadcasts"`
-	SamplesHeard  int64            `json:"samples_heard"`
-	Drops         map[string]int64 `json:"drops,omitempty"`
+	Accepted       int64            `json:"accepted"`
+	Refused        int64            `json:"refused"`
+	Served         int64            `json:"served"`
+	Redirected     int64            `json:"redirected"`
+	InternalFetch  int64            `json:"internal_fetch"`
+	Errors         int64            `json:"errors"`
+	BadRequests    int64            `json:"bad_requests"`
+	NotFound       int64            `json:"not_found"`
+	FetchFailed    int64            `json:"fetch_failed"`
+	Introspect     int64            `json:"introspect"`
+	BytesOut       int64            `json:"bytes_out"`
+	Inflight       int64            `json:"inflight"`
+	RequestsActive int64            `json:"requests_active"`
+	UpstreamDials  int64            `json:"upstream_dials"`
+	UpstreamReused int64            `json:"upstream_reused"`
+	Broadcasts     int64            `json:"broadcasts"`
+	SamplesHeard   int64            `json:"samples_heard"`
+	Drops          map[string]int64 `json:"drops,omitempty"`
 }
 
 // DefaultCacheBytes is the default hot-file cache capacity: 64 MB, a
@@ -230,9 +253,23 @@ type Server struct {
 	peersMu sync.RWMutex
 	peers   map[int]Peer
 
+	// inflight counts open client connections (the shed signal);
+	// reqActive counts requests mid-lifecycle (the load signal). Under
+	// keep-alive a parked idle connection holds inflight but not
+	// reqActive.
 	inflight   atomic.Int64
+	reqActive  atomic.Int64
 	diskActive atomic.Int64
 	netActive  atomic.Int64
+
+	// conns tracks open client connections so drain and close can wake
+	// ones parked in idle keep-alive reads.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// ups pools idle internal-fetch connections per peer.
+	ups                           *upstreamPool
+	upstreamDials, upstreamReused atomic.Int64
 
 	accepted, refused, served, redirected atomic.Int64
 	internalFetch, errors, bytesOut       atomic.Int64
@@ -298,6 +335,8 @@ func New(cfg Config) (*Server, error) {
 		draining:   make(chan struct{}),
 		dropCounts: make(map[string]int64),
 		audit:      newAuditLog(auditCap),
+		conns:      make(map[net.Conn]struct{}),
+		ups:        newUpstreamPool(0),
 	}
 	if !cfg.CacheOff {
 		s.cache = cache.New(cfg.CacheBytes)
@@ -372,7 +411,41 @@ func (s *Server) Start() {
 	go s.listenLoop()
 }
 
-// Close shuts the node down and waits for its goroutines.
+// trackConn registers an open client connection for drain/close wakeups.
+func (s *Server) trackConn(c net.Conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// nudgeConns expires every tracked connection's read deadline so serve
+// loops parked in idle keep-alive reads wake immediately instead of
+// sitting out the idle timeout during drain.
+func (s *Server) nudgeConns() {
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+}
+
+// closeConns force-closes every tracked connection (the hard-stop path).
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connMu.Unlock()
+}
+
+// Close shuts the node down and waits for its goroutines. Open keep-alive
+// connections are force-closed — Close is the hard stop; Shutdown drains.
 func (s *Server) Close() {
 	s.closeMu.Lock()
 	select {
@@ -385,6 +458,8 @@ func (s *Server) Close() {
 	s.closeMu.Unlock()
 	s.ln.Close()
 	s.udp.Close()
+	s.ups.closeAll()
+	s.closeConns()
 	s.wg.Wait()
 }
 
@@ -407,6 +482,11 @@ func (s *Server) Shutdown(grace time.Duration) bool {
 	}
 	s.closeMu.Unlock()
 	s.ln.Close() // acceptLoop sees draining and exits instead of spinning
+	// Wake connections parked between requests; their serve loops observe
+	// draining and close. Mid-request connections finish their response
+	// (the write deadline is separate) and then close instead of renewing
+	// keep-alive.
+	s.nudgeConns()
 	deadline := time.Now().Add(grace)
 	drained := true
 	for s.inflight.Load() > 0 {
@@ -423,20 +503,23 @@ func (s *Server) Shutdown(grace time.Duration) bool {
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Accepted:      s.accepted.Load(),
-		Refused:       s.refused.Load(),
-		Served:        s.served.Load(),
-		Redirected:    s.redirected.Load(),
-		InternalFetch: s.internalFetch.Load(),
-		Errors:        s.errors.Load(),
-		BadRequests:   s.badRequests.Load(),
-		NotFound:      s.notFound.Load(),
-		FetchFailed:   s.fetchFailed.Load(),
-		Introspect:    s.introspect.Load(),
-		BytesOut:      s.bytesOut.Load(),
-		Inflight:      s.inflight.Load(),
-		Broadcasts:    s.broadcasts.Load(),
-		SamplesHeard:  s.samplesHeard.Load(),
+		Accepted:       s.accepted.Load(),
+		Refused:        s.refused.Load(),
+		Served:         s.served.Load(),
+		Redirected:     s.redirected.Load(),
+		InternalFetch:  s.internalFetch.Load(),
+		Errors:         s.errors.Load(),
+		BadRequests:    s.badRequests.Load(),
+		NotFound:       s.notFound.Load(),
+		FetchFailed:    s.fetchFailed.Load(),
+		Introspect:     s.introspect.Load(),
+		BytesOut:       s.bytesOut.Load(),
+		Inflight:       s.inflight.Load(),
+		RequestsActive: s.reqActive.Load(),
+		UpstreamDials:  s.upstreamDials.Load(),
+		UpstreamReused: s.upstreamReused.Load(),
+		Broadcasts:     s.broadcasts.Load(),
+		SamplesHeard:   s.samplesHeard.Load(),
 	}
 	s.dropMu.Lock()
 	if len(s.dropCounts) > 0 {
@@ -457,11 +540,13 @@ func (s *Server) nowSec() float64 { return time.Since(s.epoch).Seconds() }
 // sinceEpoch converts a wall-clock instant to trace time.
 func (s *Server) sinceEpoch(t time.Time) float64 { return t.Sub(s.epoch).Seconds() }
 
-// sample builds this node's load broadcast.
+// sample builds this node's load broadcast. CPULoad advertises requests
+// being processed, not open connections — peers should not schedule around
+// a node whose keep-alive connections are all idle.
 func (s *Server) sample() loadd.Sample {
 	return loadd.Sample{
 		Node:            s.cfg.ID,
-		CPULoad:         float64(s.inflight.Load()),
+		CPULoad:         float64(s.reqActive.Load()),
 		DiskLoad:        float64(s.diskActive.Load()),
 		NetLoad:         float64(s.netActive.Load()),
 		CPUOpsPerSec:    s.cfg.CPUOpsPerSec,

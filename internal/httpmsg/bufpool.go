@@ -1,0 +1,51 @@
+package httpmsg
+
+import (
+	"io"
+	"sync"
+)
+
+// copyBufSize is the transfer unit for streamed bodies — large enough to
+// amortize syscalls, small enough that a pool of them is cheap to keep hot
+// across keep-alive connections.
+const copyBufSize = 32 << 10
+
+var copyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, copyBufSize)
+		return &b
+	},
+}
+
+// plainReader/plainWriter strip io.WriterTo / io.ReaderFrom so the copy
+// below genuinely goes through the pooled buffer instead of delegating to
+// an allocation of the endpoint's choosing.
+type plainReader struct{ r io.Reader }
+
+func (p plainReader) Read(b []byte) (int, error) { return p.r.Read(b) }
+
+type plainWriter struct{ w io.Writer }
+
+func (p plainWriter) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+// CopyBody streams src to dst through a pool-recycled buffer, returning
+// the byte count written.
+func CopyBody(dst io.Writer, src io.Reader) (int64, error) {
+	bp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bp)
+	return io.CopyBuffer(plainWriter{dst}, plainReader{src}, *bp)
+}
+
+// CopyBodyN streams exactly n bytes from src to dst through a pooled
+// buffer, with io.CopyN semantics: fewer than n bytes is an error (io.EOF
+// when src ended cleanly early).
+func CopyBodyN(dst io.Writer, src io.Reader, n int64) (int64, error) {
+	written, err := CopyBody(dst, io.LimitReader(src, n))
+	if written == n {
+		return n, nil
+	}
+	if err == nil {
+		err = io.EOF
+	}
+	return written, err
+}

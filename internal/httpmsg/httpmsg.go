@@ -1,9 +1,12 @@
-// Package httpmsg implements the HTTP/1.0 message layer the live SWEB nodes
+// Package httpmsg implements the HTTP message layer the live SWEB nodes
 // speak: request parsing, response serialization, and the handful of status
 // codes an NCSA-era server uses (200, 302 for SWEB's URL redirection, 400,
 // 403, 404, 500, 503). It is deliberately a from-scratch implementation in
-// the spirit of the 1996 httpd — one request per TCP connection, no
-// keep-alive, no chunked encoding — built directly on bufio over net.Conn.
+// the spirit of the 1996 httpd, built directly on bufio over net.Conn, but
+// extended with the two HTTP/1.1 features the redirection architecture
+// leans on: persistent connections (so a 302 hop does not cost a second
+// TCP handshake) and chunked transfer coding for bodies whose length is
+// unknown when the status line goes out.
 package httpmsg
 
 import (
@@ -103,6 +106,36 @@ func (h Header) Get(key string) string {
 
 // Del removes key.
 func (h Header) Del(key string) { delete(h, CanonicalKey(key)) }
+
+// Clone returns a deep copy of h (nil stays nil).
+func (h Header) Clone() Header {
+	if h == nil {
+		return nil
+	}
+	out := make(Header, len(h))
+	for k, vs := range h {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// hasToken reports whether the comma-separated header value v contains
+// token, compared case-insensitively (the grammar of Connection and
+// Transfer-Encoding values).
+func hasToken(v, token string) bool {
+	for len(v) > 0 {
+		part := v
+		if i := strings.IndexByte(v, ','); i >= 0 {
+			part, v = v[:i], v[i+1:]
+		} else {
+			v = ""
+		}
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
 
 // write serializes headers in sorted key order (deterministic output).
 func (h Header) write(w *bufio.Writer) error {
@@ -221,6 +254,9 @@ func (r *Request) Write(w io.Writer) error {
 		h = Header{}
 	}
 	if r.Body != nil {
+		// Clone before stamping Content-Length: callers share one Header
+		// map across retries and across requests, and must not see it grow.
+		h = h.Clone()
 		h.Set("Content-Length", strconv.Itoa(len(r.Body)))
 	}
 	if err := h.write(bw); err != nil {
@@ -235,6 +271,21 @@ func (r *Request) Write(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// KeepAlive reports whether the client asked for the connection to stay
+// open after this request: the default on HTTP/1.1 unless "Connection:
+// close", and on HTTP/1.0 only with an explicit "Connection: keep-alive"
+// token.
+func (r *Request) KeepAlive() bool {
+	conn := r.Header.Get("Connection")
+	switch r.Proto {
+	case "HTTP/1.1":
+		return !hasToken(conn, "close")
+	case "HTTP/1.0":
+		return hasToken(conn, "keep-alive")
+	}
+	return false
 }
 
 // Response is a parsed or to-be-written HTTP response.
@@ -273,12 +324,54 @@ func ReadResponseHeader(br *bufio.Reader) (*Response, error) {
 	return resp, nil
 }
 
+// KeepAlive reports whether the server left the connection open after this
+// response: "Connection: close" always spends it, HTTP/1.1 defaults to
+// open, HTTP/1.0 needs the explicit keep-alive token. Callers must also
+// check SelfDelimited — an EOF-bounded body spends the connection anyway.
+func (r *Response) KeepAlive() bool {
+	conn := r.Header.Get("Connection")
+	if hasToken(conn, "close") {
+		return false
+	}
+	if r.Proto == "HTTP/1.1" {
+		return true
+	}
+	return hasToken(conn, "keep-alive")
+}
+
+// Chunked reports whether the response body uses chunked transfer coding.
+func (r *Response) Chunked() bool {
+	return hasToken(r.Header.Get("Transfer-Encoding"), "chunked")
+}
+
+// SelfDelimited reports whether the response advertises its own body
+// length (Content-Length or chunked), i.e. whether a reader can find the
+// boundary of the next response on the same connection.
+func (r *Response) SelfDelimited() bool {
+	return r.Header.Get("Content-Length") != "" || r.Chunked()
+}
+
 // ReadResponse parses a full response, including the body (bounded by
 // limit bytes; pass <=0 for no limit beyond Content-Length).
 func ReadResponse(br *bufio.Reader, limit int64) (*Response, error) {
 	resp, err := ReadResponseHeader(br)
 	if err != nil {
 		return nil, err
+	}
+	if resp.Chunked() {
+		var r io.Reader = NewChunkedReader(br)
+		if limit > 0 {
+			r = io.LimitReader(r, limit+1)
+		}
+		body, err := io.ReadAll(r)
+		if err != nil {
+			return nil, parseErrf("chunked body: %v", err)
+		}
+		if limit > 0 && int64(len(body)) > limit {
+			return nil, parseErrf("chunked response exceeds limit")
+		}
+		resp.Body = body
+		return resp, nil
 	}
 	if cl := resp.Header.Get("Content-Length"); cl != "" {
 		n, err := strconv.ParseInt(strings.TrimSpace(cl), 10, 64)
@@ -310,10 +403,18 @@ func ReadResponse(br *bufio.Reader, limit int64) (*Response, error) {
 	return resp, nil
 }
 
-// WriteResponseHeader writes the status line and headers; the caller then
-// streams the body. Content-Length should already be set for HTTP/1.0
-// clients that want to reuse nothing but still know the size.
-func WriteResponseHeader(w *bufio.Writer, code int, h Header) error {
+// validProto clamps a protocol version to the two response lines this
+// server emits; anything unrecognized downgrades to HTTP/1.0.
+func validProto(proto string) string {
+	if proto == "HTTP/1.1" {
+		return proto
+	}
+	return "HTTP/1.0"
+}
+
+// WriteProtoResponseHeader writes the status line (under the given
+// protocol version) and headers; the caller then streams the body.
+func WriteProtoResponseHeader(w *bufio.Writer, proto string, code int, h Header) error {
 	if h == nil {
 		h = Header{}
 	}
@@ -323,7 +424,7 @@ func WriteResponseHeader(w *bufio.Writer, code int, h Header) error {
 	if h.Get("Server") == "" {
 		h.Set("Server", "SWEB/1.0 (NCSA-derived)")
 	}
-	if _, err := fmt.Fprintf(w, "HTTP/1.0 %d %s\r\n", code, StatusText(code)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %d %s\r\n", validProto(proto), code, StatusText(code)); err != nil {
 		return err
 	}
 	if err := h.write(w); err != nil {
@@ -333,8 +434,15 @@ func WriteResponseHeader(w *bufio.Writer, code int, h Header) error {
 	return err
 }
 
-// WriteSimpleResponse writes a complete small response (errors, redirects).
-func WriteSimpleResponse(w io.Writer, code int, h Header, body []byte) error {
+// WriteResponseHeader is WriteProtoResponseHeader pinned to HTTP/1.0, kept
+// for the callers that never negotiate keep-alive (monitor, DNS admin).
+func WriteResponseHeader(w *bufio.Writer, code int, h Header) error {
+	return WriteProtoResponseHeader(w, "HTTP/1.0", code, h)
+}
+
+// WriteProtoSimpleResponse writes a complete small response (errors,
+// redirects) under the given protocol version.
+func WriteProtoSimpleResponse(w io.Writer, proto string, code int, h Header, body []byte) error {
 	bw := bufio.NewWriter(w)
 	if h == nil {
 		h = Header{}
@@ -343,13 +451,18 @@ func WriteSimpleResponse(w io.Writer, code int, h Header, body []byte) error {
 		h.Set("Content-Type", "text/html")
 	}
 	h.Set("Content-Length", strconv.Itoa(len(body)))
-	if err := WriteResponseHeader(bw, code, h); err != nil {
+	if err := WriteProtoResponseHeader(bw, proto, code, h); err != nil {
 		return err
 	}
 	if _, err := bw.Write(body); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// WriteSimpleResponse is WriteProtoSimpleResponse pinned to HTTP/1.0.
+func WriteSimpleResponse(w io.Writer, code int, h Header, body []byte) error {
+	return WriteProtoSimpleResponse(w, "HTTP/1.0", code, h, body)
 }
 
 // ErrorBody renders the little HTML page NCSA httpd sends with an error.
@@ -359,27 +472,26 @@ func ErrorBody(code int, detail string) []byte {
 		code, StatusText(code), code, StatusText(code), detail))
 }
 
-// readLine reads a CRLF- or LF-terminated line of at most max bytes.
+// readLine reads a CRLF- or LF-terminated line of at most max bytes. A
+// clean close before any byte arrives surfaces as bare io.EOF (how a
+// keep-alive loop sees the peer hang up between requests); a close after a
+// partial line is a ParseError — the fragment is a truncated message, not
+// a complete line.
 func readLine(br *bufio.Reader, max int) (string, error) {
-	var b strings.Builder
-	for {
-		chunk, err := br.ReadString('\n')
-		b.WriteString(chunk)
-		if b.Len() > max {
-			return "", parseErrf("line exceeds %d bytes", max)
-		}
-		if err != nil {
-			if err == io.EOF && b.Len() == 0 {
-				return "", io.EOF
-			}
-			if err == io.EOF {
-				break
-			}
-			return "", err
-		}
-		break
+	chunk, err := br.ReadString('\n')
+	if len(chunk) > max {
+		return "", parseErrf("line exceeds %d bytes", max)
 	}
-	return strings.TrimRight(b.String(), "\r\n"), nil
+	if err != nil {
+		if err == io.EOF && len(chunk) == 0 {
+			return "", io.EOF
+		}
+		if err == io.EOF {
+			return "", parseErrf("connection closed mid-line after %d bytes", len(chunk))
+		}
+		return "", err
+	}
+	return strings.TrimRight(chunk, "\r\n"), nil
 }
 
 func readHeaders(br *bufio.Reader, h Header) error {

@@ -4,6 +4,10 @@ import (
 	"strings"
 )
 
+// DecodePath percent-decodes a wire-form path (e.g. one lifted from a 302
+// Location) and normalizes it, exactly as the server-side parser would.
+func DecodePath(p string) (string, error) { return decodePath(p) }
+
 // decodePath percent-decodes a request path and normalizes it, rejecting
 // traversal outside the document root ("completes the pathname given,
 // determining appropriate permissions along the way").
@@ -84,6 +88,10 @@ func normalize(p string) (string, bool) {
 	}
 	return clean, true
 }
+
+// EscapePath percent-encodes the bytes that cannot appear raw in a request
+// target or Location header. Slashes are kept as separators.
+func EscapePath(p string) string { return escapePath(p) }
 
 // escapePath percent-encodes the bytes that cannot appear raw in a request
 // target. Slashes are kept as separators.

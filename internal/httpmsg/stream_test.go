@@ -1,0 +1,243 @@
+package httpmsg
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// A request line cut off by EOF used to parse as if it were complete: the
+// old readLine returned the partial line alongside io.EOF's data. A
+// truncated line must surface as an error, never as a valid request.
+func TestReadRequestTruncatedLine(t *testing.T) {
+	cases := []string{
+		"GET / HTTP/1.0",                      // request line cut mid-way
+		"GET / HTTP/1.0\r\nHost: example",     // header line cut mid-way
+		"GET / HTTP/1.0\r\nHost: example\r\n", // header block never terminated
+	}
+	for _, in := range cases {
+		req, err := ReadRequest(bufio.NewReader(strings.NewReader(in)))
+		if err == nil {
+			t.Errorf("truncated request %q parsed as %+v", in, req)
+		}
+		if err == io.EOF && in != "" {
+			t.Errorf("truncated request %q reported clean EOF", in)
+		}
+	}
+}
+
+// A clean EOF before any bytes is the idle-connection-closed case and must
+// stay distinguishable from a truncation error.
+func TestReadRequestCleanEOF(t *testing.T) {
+	_, err := ReadRequest(bufio.NewReader(strings.NewReader("")))
+	if err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadResponseTruncatedHeader(t *testing.T) {
+	cases := []string{
+		"HTTP/1.0 200 OK",
+		"HTTP/1.0 200 OK\r\nContent-Length: 3",
+		"HTTP/1.0 200 OK\r\nContent-Length: 3\r\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(in)), 0); err == nil {
+			t.Errorf("truncated response %q parsed", in)
+		}
+	}
+}
+
+// Request.Write used to Set Content-Length directly on the caller's Header
+// map — a request written twice, or a header map shared between requests,
+// silently grew a stale length.
+func TestRequestWriteDoesNotMutateHeader(t *testing.T) {
+	h := Header{}
+	h.Set("X-Sweb-Internal", "1")
+	req := &Request{Method: "POST", Path: "/cgi", Header: h, Body: []byte("12345")}
+	var buf bytes.Buffer
+	if err := req.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Get("Content-Length"); got != "" {
+		t.Fatalf("Write mutated caller's header: Content-Length = %q", got)
+	}
+	// Writing again with a shorter body must not carry the old length.
+	req.Body = []byte("123")
+	var buf2 bytes.Buffer
+	if err := req.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != "123" {
+		t.Fatalf("second write body = %q", got.Body)
+	}
+}
+
+func TestRequestKeepAlive(t *testing.T) {
+	cases := []struct {
+		proto, conn string
+		want        bool
+	}{
+		{"HTTP/1.1", "", true},
+		{"HTTP/1.1", "keep-alive", true},
+		{"HTTP/1.1", "close", false},
+		{"HTTP/1.1", "Close", false},
+		{"HTTP/1.1", "foo, close", false},
+		{"HTTP/1.0", "", false},
+		{"HTTP/1.0", "keep-alive", true},
+		{"HTTP/1.0", "Keep-Alive", true},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		req := &Request{Proto: c.proto, Header: Header{}}
+		if c.conn != "" {
+			req.Header.Set("Connection", c.conn)
+		}
+		if got := req.KeepAlive(); got != c.want {
+			t.Errorf("KeepAlive(%q, Connection:%q) = %v want %v", c.proto, c.conn, got, c.want)
+		}
+	}
+}
+
+func TestResponseSelfDelimited(t *testing.T) {
+	mk := func(proto string, hdrs ...string) *Response {
+		r := &Response{Proto: proto, StatusCode: 200, Header: Header{}}
+		for i := 0; i+1 < len(hdrs); i += 2 {
+			r.Header.Set(hdrs[i], hdrs[i+1])
+		}
+		return r
+	}
+	if !mk("HTTP/1.1", "Content-Length", "5").SelfDelimited() {
+		t.Fatal("sized body should be self-delimited")
+	}
+	if !mk("HTTP/1.1", "Transfer-Encoding", "chunked").SelfDelimited() {
+		t.Fatal("chunked body should be self-delimited")
+	}
+	if mk("HTTP/1.0").SelfDelimited() {
+		t.Fatal("EOF-delimited body is not self-delimited")
+	}
+	if !mk("HTTP/1.1", "Content-Length", "5").KeepAlive() {
+		t.Fatal("1.1 defaults to keep-alive")
+	}
+	if mk("HTTP/1.1", "Connection", "close").KeepAlive() {
+		t.Fatal("Connection: close wins")
+	}
+	if !mk("HTTP/1.0", "Connection", "keep-alive").KeepAlive() {
+		t.Fatal("1.0 keep-alive opt-in")
+	}
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	cw := NewChunkedWriter(bw)
+	for _, part := range []string{"hello ", "", "chunked ", "world"} {
+		if _, err := cw.Write([]byte(part)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(NewChunkedReader(bufio.NewReader(&buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello chunked world" {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+// Property: any sequence of writes survives the chunked frame-and-decode
+// round trip byte for byte, and the reader leaves the stream positioned
+// exactly after the terminator.
+func TestChunkedRoundTripProperty(t *testing.T) {
+	f := func(parts [][]byte, trailing []byte) bool {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		cw := NewChunkedWriter(bw)
+		var want []byte
+		for _, p := range parts {
+			if _, err := cw.Write(p); err != nil {
+				return false
+			}
+			want = append(want, p...)
+		}
+		if cw.Close() != nil || bw.Flush() != nil {
+			return false
+		}
+		buf.Write(trailing) // next message on the same connection
+		br := bufio.NewReader(&buf)
+		got, err := io.ReadAll(NewChunkedReader(br))
+		if err != nil || !bytes.Equal(got, want) {
+			return false
+		}
+		rest, _ := io.ReadAll(br)
+		return bytes.Equal(rest, trailing)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A chunked stream cut before the terminator must error, not EOF cleanly —
+// relays depend on this to tell a finished body from a dead peer.
+func TestChunkedTruncation(t *testing.T) {
+	cases := []string{
+		"5\r\nhel",            // cut mid-chunk
+		"5\r\nhello\r\n",      // cut before next size line
+		"5\r\nhello\r\n0\r\n", // cut before trailer terminator
+		"zz\r\n",              // garbage size
+	}
+	for _, in := range cases {
+		_, err := io.ReadAll(NewChunkedReader(bufio.NewReader(strings.NewReader(in))))
+		if err == nil {
+			t.Errorf("truncated chunked stream %q read cleanly", in)
+		}
+	}
+}
+
+func TestReadResponseChunked(t *testing.T) {
+	raw := "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n"
+	resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "hello world" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)), 5); err == nil {
+		t.Fatal("chunked body over limit accepted")
+	}
+}
+
+func TestCopyBodyUsesPool(t *testing.T) {
+	src := bytes.Repeat([]byte("x"), 100<<10)
+	var dst bytes.Buffer
+	n, err := CopyBody(&dst, bytes.NewReader(src))
+	if err != nil || n != int64(len(src)) {
+		t.Fatalf("CopyBody = %d, %v", n, err)
+	}
+	if !bytes.Equal(dst.Bytes(), src) {
+		t.Fatal("CopyBody corrupted data")
+	}
+	dst.Reset()
+	if _, err := CopyBodyN(&dst, bytes.NewReader(src), int64(len(src))); err != nil {
+		t.Fatalf("CopyBodyN full: %v", err)
+	}
+	dst.Reset()
+	if _, err := CopyBodyN(&dst, bytes.NewReader(src[:10]), 20); err == nil {
+		t.Fatal("CopyBodyN short source succeeded")
+	}
+}

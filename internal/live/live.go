@@ -65,6 +65,15 @@ type Options struct {
 	CacheBytes int64
 	// CacheOff disables the hot-file cache on every node.
 	CacheOff bool
+	// IdleTimeout bounds how long a keep-alive connection may sit between
+	// requests on every node (zero: httpd default).
+	IdleTimeout time.Duration
+	// KeepAliveMax caps requests served per connection (zero: httpd
+	// default; negative: unlimited).
+	KeepAliveMax int
+	// KeepAliveOff makes every node close connections after one response,
+	// the pre-persistent-connection behavior.
+	KeepAliveOff bool
 	// Faults, when non-nil, injects gossip loss and fetch latency.
 	Faults *Faults
 	// Trace, when non-nil, is shared by every node: each request's
@@ -154,6 +163,9 @@ func Start(o Options) (*Cluster, error) {
 			FailureLimit:   o.FailureLimit,
 			CacheBytes:     o.CacheBytes,
 			CacheOff:       o.CacheOff,
+			IdleTimeout:    o.IdleTimeout,
+			KeepAliveMax:   o.KeepAliveMax,
+			KeepAliveOff:   o.KeepAliveOff,
 			DropBroadcast:  o.Faults.dropFn(int64(i)),
 			DialDelay:      o.Faults.delayFn(),
 			Trace:          rec,
@@ -309,15 +321,31 @@ type Result struct {
 // still resolves to crashed nodes — the client re-resolves and tries the
 // next address, the way browsers walked a DNS answer's remaining A
 // records, under a small capped-backoff budget.
+//
+// By default the client speaks HTTP/1.1 with keep-alive and parks one idle
+// connection per node address, so a redirect's follow-up request to a node
+// it has already visited rides the open socket instead of paying a fresh
+// TCP handshake. SetKeepAlive(false) restores one-shot HTTP/1.0 fetches.
 type Client struct {
-	mu       sync.Mutex
-	cluster  *Cluster
-	timeout  time.Duration
-	maxBytes int64
-	attempts int
-	backoff  time.Duration
-	rec      *trace.Recorder
+	mu        sync.Mutex
+	cluster   *Cluster
+	timeout   time.Duration
+	maxBytes  int64
+	attempts  int
+	backoff   time.Duration
+	rec       *trace.Recorder
+	keepAlive bool
+	idle      map[string]*persistConn
+	closed    bool
 }
+
+// persistConn is one parked keep-alive connection with its response parser.
+type persistConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func (p *persistConn) Close() { _ = p.c.Close() }
 
 // SetTrace makes the client originate traces: every Get mints a trace id,
 // records the client-side events (issued, resolved, delivered/timed-out)
@@ -336,7 +364,58 @@ func (c *Cluster) NewClient() *Client {
 	return &Client{
 		cluster: c, timeout: 30 * time.Second, maxBytes: 64 << 20,
 		attempts: len(c.Servers) + 1, backoff: 50 * time.Millisecond,
+		keepAlive: true, idle: make(map[string]*persistConn),
 	}
+}
+
+// SetKeepAlive toggles connection reuse. Turning it off closes any parked
+// connections and makes every fetch a one-shot HTTP/1.0 exchange.
+func (cl *Client) SetKeepAlive(on bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.keepAlive = on
+	if !on {
+		for addr, pc := range cl.idle {
+			pc.Close()
+			delete(cl.idle, addr)
+		}
+	}
+}
+
+// Close releases every parked keep-alive connection. The client stays
+// usable; subsequent fetches just dial fresh.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.closed = true
+	for addr, pc := range cl.idle {
+		pc.Close()
+		delete(cl.idle, addr)
+	}
+}
+
+// takeConn pops the parked connection for addr, nil when none.
+func (cl *Client) takeConn(addr string) *persistConn {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	pc := cl.idle[addr]
+	delete(cl.idle, addr)
+	return pc
+}
+
+// parkConn stores a reusable connection for addr, displacing (and closing)
+// any connection already parked there.
+func (cl *Client) parkConn(addr string, pc *persistConn) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed || !cl.keepAlive {
+		pc.Close()
+		return
+	}
+	if old := cl.idle[addr]; old != nil {
+		old.Close()
+	}
+	cl.idle[addr] = pc
 }
 
 // SetRetry tunes the failover budget: total attempts across re-resolves
@@ -416,11 +495,13 @@ func appendQueryParam(pathAndQuery, kv string) string {
 	return pathAndQuery + "?" + kv
 }
 
-// getVia performs one full fetch entering the cluster at addr.
+// getVia performs one full fetch entering the cluster at addr. With
+// keep-alive on, the redirect hop's second request reuses the pool — when
+// the rotation has already visited the target node, no handshake is paid.
 func (cl *Client) getVia(addr, path string, start time.Time) (*Result, error) {
 	redirected := false
 	for hop := 0; hop < 4; hop++ {
-		status, hdr, body, err := fetchOnce(addr, path, cl.timeout, cl.maxBytes)
+		status, hdr, body, err := cl.roundTrip(addr, path)
 		if err != nil {
 			return nil, err
 		}
@@ -442,6 +523,78 @@ func (cl *Client) getVia(addr, path string, start time.Time) (*Result, error) {
 	return nil, fmt.Errorf("live: too many redirects for %s", path)
 }
 
+// roundTrip performs one GET against addr. With keep-alive on it tries the
+// parked connection first (retrying once on a fresh dial if the server
+// idle-timed it out), and parks the connection back when the response
+// framing leaves it clean. With keep-alive off it is a one-shot HTTP/1.0
+// exchange.
+func (cl *Client) roundTrip(addr, pathAndQuery string) (int, httpmsg.Header, []byte, error) {
+	cl.mu.Lock()
+	ka := cl.keepAlive && !cl.closed
+	cl.mu.Unlock()
+	if !ka {
+		return fetchOnce(addr, pathAndQuery, cl.timeout, cl.maxBytes)
+	}
+	req := cl.buildGet(pathAndQuery, true)
+	if pc := cl.takeConn(addr); pc != nil {
+		resp, err := cl.exchange(pc, req)
+		if err == nil {
+			return cl.finish(addr, pc, resp)
+		}
+		pc.Close() // idle connection went stale under us; dial fresh
+	}
+	conn, err := net.DialTimeout("tcp", addr, cl.timeout)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	pc := &persistConn{c: conn, br: bufio.NewReader(conn)}
+	resp, err := cl.exchange(pc, req)
+	if err != nil {
+		pc.Close()
+		return 0, nil, nil, err
+	}
+	return cl.finish(addr, pc, resp)
+}
+
+// buildGet parses "/path?query" into a request; keepAlive selects the
+// HTTP/1.1 persistent form. The path is decoded first: redirect Locations
+// arrive percent-escaped, and Request.Write re-escapes on the wire.
+func (cl *Client) buildGet(pathAndQuery string, keepAlive bool) *httpmsg.Request {
+	p, q := pathAndQuery, ""
+	if i := strings.IndexByte(pathAndQuery, '?'); i >= 0 {
+		p, q = pathAndQuery[:i], pathAndQuery[i+1:]
+	}
+	if dp, err := httpmsg.DecodePath(p); err == nil {
+		p = dp
+	}
+	req := &httpmsg.Request{Method: "GET", Path: p, Query: q, Header: httpmsg.Header{}}
+	if keepAlive {
+		req.Proto = "HTTP/1.1"
+		req.Header.Set("Connection", "keep-alive")
+	}
+	return req
+}
+
+// exchange writes one request and reads the full response off pc.
+func (cl *Client) exchange(pc *persistConn, req *httpmsg.Request) (*httpmsg.Response, error) {
+	_ = pc.c.SetDeadline(time.Now().Add(cl.timeout))
+	if err := req.Write(pc.c); err != nil {
+		return nil, err
+	}
+	return httpmsg.ReadResponse(pc.br, cl.maxBytes)
+}
+
+// finish parks pc for reuse when the response says the server is keeping
+// the connection open and the framing consumed the body exactly.
+func (cl *Client) finish(addr string, pc *persistConn, resp *httpmsg.Response) (int, httpmsg.Header, []byte, error) {
+	if resp.KeepAlive() && resp.SelfDelimited() {
+		cl.parkConn(addr, pc)
+	} else {
+		pc.Close()
+	}
+	return resp.StatusCode, resp.Header, resp.Body, nil
+}
+
 // fetchOnce performs a single HTTP/1.0 GET.
 func fetchOnce(addr, pathAndQuery string, timeout time.Duration, maxBytes int64) (int, httpmsg.Header, []byte, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
@@ -453,6 +606,9 @@ func fetchOnce(addr, pathAndQuery string, timeout time.Duration, maxBytes int64)
 	p, q := pathAndQuery, ""
 	if i := strings.IndexByte(pathAndQuery, '?'); i >= 0 {
 		p, q = pathAndQuery[:i], pathAndQuery[i+1:]
+	}
+	if dp, err := httpmsg.DecodePath(p); err == nil {
+		p = dp
 	}
 	req := &httpmsg.Request{Method: "GET", Path: p, Query: q, Header: httpmsg.Header{}}
 	if err := req.Write(conn); err != nil {

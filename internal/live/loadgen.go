@@ -23,6 +23,7 @@ type GenResult struct {
 // finished or failed.
 func (c *Cluster) Generate(rps, seconds int, pick func(i int, rng *rand.Rand) string, seed int64) GenResult {
 	client := c.NewClient()
+	defer client.Close()
 	rng := rand.New(rand.NewSource(seed))
 	type outcome struct {
 		ok         bool
