@@ -1,8 +1,8 @@
 // Command swebload is the burst load generator used against live SWEB
 // nodes: at each second it launches a constant number of requests
 // (the paper's test methodology) round-robin across the given servers,
-// follows SWEB redirections, and reports response-time and failure
-// statistics.
+// follows SWEB redirections, and reports response-time (p50/p95/p99),
+// time-to-first-byte, and failure statistics.
 //
 // Usage:
 //
@@ -17,12 +17,12 @@ import (
 	"math/rand"
 	"net"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"sweb/internal/httpmsg"
+	"sweb/internal/stats"
 )
 
 func main() {
@@ -47,6 +47,7 @@ func main() {
 		ok         bool
 		redirected bool
 		elapsed    time.Duration
+		ttfb       time.Duration // first response byte of the final hop, -1 none
 	}
 	total := *rps * *seconds
 	outcomes := make([]outcome, total)
@@ -69,8 +70,8 @@ func main() {
 			go func() {
 				defer wg.Done()
 				t0 := time.Now()
-				ok, redirected := fetch(pool, host, path, *timeout)
-				outcomes[i] = outcome{ok: ok, redirected: redirected, elapsed: time.Since(t0)}
+				ok, redirected, ttfb := fetch(pool, host, path, *timeout)
+				outcomes[i] = outcome{ok: ok, redirected: redirected, elapsed: time.Since(t0), ttfb: ttfb}
 			}()
 		}
 		if sec < *seconds-1 {
@@ -80,7 +81,7 @@ func main() {
 	wg.Wait()
 
 	var done, failed, redirected int
-	var latencies []time.Duration
+	var latency, ttfb stats.Summary
 	for _, o := range outcomes {
 		if !o.ok {
 			failed++
@@ -90,18 +91,27 @@ func main() {
 		if o.redirected {
 			redirected++
 		}
-		latencies = append(latencies, o.elapsed)
-	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	var sum time.Duration
-	for _, l := range latencies {
-		sum += l
+		latency.Add(o.elapsed.Seconds())
+		if o.ttfb >= 0 {
+			ttfb.Add(o.ttfb.Seconds())
+		}
 	}
 	fmt.Printf("offered %d  completed %d  failed %d (%.1f%%)  redirected %d  wall %.1fs\n",
 		total, done, failed, 100*float64(failed)/float64(total), redirected, time.Since(start).Seconds())
-	if done > 0 {
-		fmt.Printf("response: mean %v  p50 %v  p95 %v  max %v\n",
-			sum/time.Duration(done), latencies[done/2], latencies[done*95/100], latencies[done-1])
+	for _, line := range []struct {
+		name string
+		s    *stats.Summary
+	}{{"response", &latency}, {"ttfb", &ttfb}} {
+		if line.s.N() == 0 {
+			continue
+		}
+		fmt.Printf("%s: mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+			line.name,
+			stats.FormatSeconds(line.s.Mean()),
+			stats.FormatSeconds(line.s.Quantile(0.50)),
+			stats.FormatSeconds(line.s.Quantile(0.95)),
+			stats.FormatSeconds(line.s.Quantile(0.99)),
+			stats.FormatSeconds(line.s.Max()))
 	}
 }
 
@@ -169,35 +179,43 @@ func (p *connPool) closeAll() {
 }
 
 // exchangeOnce runs one request/response on addr, pooled connection first
-// with a fresh-dial retry when the parked one went stale.
-func exchangeOnce(pool *connPool, addr string, req *httpmsg.Request, timeout time.Duration) (*httpmsg.Response, error) {
+// with a fresh-dial retry when the parked one went stale. The returned
+// time is when the response's first byte arrived.
+func exchangeOnce(pool *connPool, addr string, req *httpmsg.Request, timeout time.Duration) (*httpmsg.Response, time.Time, error) {
 	if pc := pool.get(addr); pc != nil {
-		if resp, err := tryExchange(pc, req, timeout); err == nil {
+		if resp, firstByte, err := tryExchange(pc, req, timeout); err == nil {
 			finishExchange(pool, addr, pc, resp)
-			return resp, nil
+			return resp, firstByte, nil
 		}
 		pc.c.Close()
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, err
+		return nil, time.Time{}, err
 	}
 	pc := &pconn{c: conn, br: bufio.NewReader(conn)}
-	resp, err := tryExchange(pc, req, timeout)
+	resp, firstByte, err := tryExchange(pc, req, timeout)
 	if err != nil {
 		pc.c.Close()
-		return nil, err
+		return nil, time.Time{}, err
 	}
 	finishExchange(pool, addr, pc, resp)
-	return resp, nil
+	return resp, firstByte, nil
 }
 
-func tryExchange(pc *pconn, req *httpmsg.Request, timeout time.Duration) (*httpmsg.Response, error) {
+func tryExchange(pc *pconn, req *httpmsg.Request, timeout time.Duration) (*httpmsg.Response, time.Time, error) {
 	_ = pc.c.SetDeadline(time.Now().Add(timeout))
 	if err := req.Write(pc.c); err != nil {
-		return nil, err
+		return nil, time.Time{}, err
 	}
-	return httpmsg.ReadResponse(pc.br, 128<<20)
+	// Peek blocks until the first response byte is readable — the honest
+	// client-side TTFB instant — without consuming it from the parser.
+	if _, err := pc.br.Peek(1); err != nil {
+		return nil, time.Time{}, err
+	}
+	firstByte := time.Now()
+	resp, err := httpmsg.ReadResponse(pc.br, 128<<20)
+	return resp, firstByte, err
 }
 
 // finishExchange parks the connection when the response framing left it
@@ -210,8 +228,11 @@ func finishExchange(pool *connPool, addr string, pc *pconn, resp *httpmsg.Respon
 	}
 }
 
-// fetch performs one GET, following up to 4 redirects.
-func fetch(pool *connPool, addr, pathAndQuery string, timeout time.Duration) (ok, redirected bool) {
+// fetch performs one GET, following up to 4 redirects. ttfb is the final
+// hop's first response byte measured from the fetch's start — redirect
+// round-trips included, since that is the wait the user actually saw.
+func fetch(pool *connPool, addr, pathAndQuery string, timeout time.Duration) (ok, redirected bool, ttfb time.Duration) {
+	start := time.Now()
 	for hop := 0; hop < 4; hop++ {
 		p, q := pathAndQuery, ""
 		if i := strings.IndexByte(pathAndQuery, '?'); i >= 0 {
@@ -225,15 +246,15 @@ func fetch(pool *connPool, addr, pathAndQuery string, timeout time.Duration) (ok
 			req.Proto = "HTTP/1.1"
 			req.Header.Set("Connection", "keep-alive")
 		}
-		resp, err := exchangeOnce(pool, addr, req, timeout)
+		resp, firstByte, err := exchangeOnce(pool, addr, req, timeout)
 		if err != nil {
-			return false, redirected
+			return false, redirected, -1
 		}
 		if resp.StatusCode == httpmsg.StatusMovedTemporarily {
 			loc := resp.Header.Get("Location")
 			rest, found := strings.CutPrefix(loc, "http://")
 			if !found {
-				return false, redirected
+				return false, redirected, -1
 			}
 			redirected = true
 			if slash := strings.IndexByte(rest, '/'); slash >= 0 {
@@ -243,7 +264,7 @@ func fetch(pool *connPool, addr, pathAndQuery string, timeout time.Duration) (ok
 			}
 			continue
 		}
-		return resp.StatusCode == httpmsg.StatusOK, redirected
+		return resp.StatusCode == httpmsg.StatusOK, redirected, firstByte.Sub(start)
 	}
-	return false, redirected
+	return false, redirected, -1
 }

@@ -1,7 +1,11 @@
 // Command swebtop is a terminal dashboard for a running SWEB cluster.
 // It scrapes each node's /sweb/metrics endpoint on an interval, keeps a
 // sliding time-series window, and renders per-node load, request and
-// redirect rates, per-phase latency quantiles, and firing alerts.
+// redirect rates, per-phase latency quantiles, firing alerts, and the
+// cluster-wide tail of notable flight records (slow or errored requests
+// from every node's black box). Typing "s" followed by Enter asks every
+// node to write a diagnostic snapshot bundle (requires the nodes to run
+// with -snapshot-dir).
 //
 // Usage:
 //
@@ -11,14 +15,18 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"sweb/internal/flight"
+	"sweb/internal/live"
 	"sweb/internal/monitor"
 )
 
@@ -28,6 +36,7 @@ func main() {
 	once := flag.Bool("once", false, "collect a couple of rounds, print one snapshot, exit")
 	rounds := flag.Int("rounds", 0, "exit after this many collect rounds (0 = run until interrupted)")
 	csvOut := flag.String("csv", "", "write the load-over-time timeline CSV here on exit")
+	flightRows := flag.Int("flight", 8, "notable flight records shown under the dashboard (0 hides the panel)")
 	flag.Parse()
 
 	addrs := flag.Args()
@@ -54,12 +63,25 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
+	// The keyboard listener: a line consisting of "s" triggers a snapshot
+	// bundle on every node. Line-buffered stdin keeps the terminal sane
+	// without raw-mode contortions.
+	keys := make(chan string, 4)
+	if !*once {
+		go func() {
+			sc := bufio.NewScanner(os.Stdin)
+			for sc.Scan() {
+				keys <- strings.TrimSpace(sc.Text())
+			}
+		}()
+	}
+
 	epoch := time.Now()
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
 	mon.Collect(time.Since(epoch).Seconds())
 	if !*once {
-		render(mon)
+		render(mon, addrs, *flightRows)
 	}
 
 loop:
@@ -67,16 +89,23 @@ loop:
 		select {
 		case <-sig:
 			break loop
+		case k := <-keys:
+			if k == "s" {
+				triggerSnapshots(addrs)
+			}
 		case <-tick.C:
 			mon.Collect(time.Since(epoch).Seconds())
 			if !*once {
-				render(mon)
+				render(mon, addrs, *flightRows)
 			}
 		}
 	}
 
 	if *once {
 		fmt.Print(monitor.RenderSnapshot(mon.Snapshot()))
+		if *flightRows > 0 {
+			fmt.Print(renderFlight(addrs, *flightRows))
+		}
 	}
 	if *csvOut != "" {
 		if err := writeCSV(mon, *csvOut); err != nil {
@@ -87,10 +116,48 @@ loop:
 	}
 }
 
-// render clears the terminal and draws the current snapshot.
-func render(mon *monitor.Monitor) {
+// render clears the terminal and draws the current snapshot plus the
+// cluster-wide notable-request tail.
+func render(mon *monitor.Monitor, addrs []string, flightRows int) {
 	fmt.Print("\x1b[2J\x1b[H")
 	fmt.Print(monitor.RenderSnapshot(mon.Snapshot()))
+	if flightRows > 0 {
+		fmt.Print(renderFlight(addrs, flightRows))
+	}
+	fmt.Println(`keys: "s" + Enter writes a snapshot bundle on every node`)
+}
+
+// renderFlight scrapes every node's /sweb/flight and renders the newest
+// notable records merged cluster-wide. Dead nodes are skipped, the same
+// stance the metrics scraper takes.
+func renderFlight(addrs []string, limit int) string {
+	var dumps []flight.Dump
+	for _, addr := range addrs {
+		d, err := live.Flight(addr)
+		if err != nil || !d.Enabled {
+			continue
+		}
+		dumps = append(dumps, *d)
+	}
+	recs := flight.Merge(dumps, true)
+	if len(recs) > limit {
+		recs = recs[len(recs)-limit:]
+	}
+	return flight.RenderRecords("notable requests (slow/errored), cluster-wide", recs)
+}
+
+// triggerSnapshots asks every node to capture a diagnostic bundle. Each
+// node writes under its own -snapshot-dir; nodes without one answer 503
+// and are reported, not fatal.
+func triggerSnapshots(addrs []string) {
+	for _, addr := range addrs {
+		dir, err := live.TriggerSnapshot(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swebtop: snapshot %s: %v\n", addr, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "swebtop: %s wrote bundle %s\n", addr, dir)
+	}
 }
 
 func writeCSV(mon *monitor.Monitor, path string) error {

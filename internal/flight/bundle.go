@@ -1,0 +1,207 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// NodeState is one node's contribution to a snapshot bundle. Byte fields
+// arrive pre-serialized (the node's own exposition and status formats);
+// Conns is marshaled as JSON. A node that could not be reached
+// contributes only its name and Err, so a bundle records the cluster's
+// holes as faithfully as its survivors.
+type NodeState struct {
+	Name    string
+	Metrics []byte
+	Status  []byte
+	Trace   []byte
+	Flight  Dump
+	Conns   any
+	Err     string
+}
+
+// SnapshotOptions configures one bundle write.
+type SnapshotOptions struct {
+	Dir        string  // parent directory, required
+	Reason     string  // "manual", "alert-node_down", ... becomes part of the name
+	CPUSeconds float64 // CPU profile length; 0: 0.2s, negative: skip
+}
+
+// Manifest indexes the bundle. Errors maps a file that could not be
+// written (or a capture that failed) to why; a partial bundle with an
+// honest manifest beats no bundle.
+type Manifest struct {
+	Reason      string            `json:"reason"`
+	WrittenUnix float64           `json:"written_unix"`
+	GoVersion   string            `json:"go_version"`
+	Nodes       []string          `json:"nodes"`
+	Files       []string          `json:"files"`
+	Errors      map[string]string `json:"errors,omitempty"`
+}
+
+// Snapshot writes a timestamped bundle directory under opts.Dir holding
+// process-wide profiles (goroutine, heap, a short CPU profile) captured
+// programmatically via runtime/pprof, plus one subdirectory per node with
+// its metrics exposition, status report, trace tail, flight rings, and
+// connection table. It returns the bundle directory path. Capture
+// failures are tolerated and recorded in MANIFEST.json; only an unusable
+// destination is a hard error.
+func Snapshot(opts SnapshotOptions, nodes []NodeState) (string, error) {
+	if opts.Dir == "" {
+		return "", errors.New("flight: snapshot needs a destination directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return "", err
+	}
+	reason := opts.Reason
+	if reason == "" {
+		reason = "manual"
+	}
+	dir, err := makeBundleDir(opts.Dir, reason)
+	if err != nil {
+		return "", err
+	}
+
+	man := Manifest{
+		Reason:      reason,
+		WrittenUnix: float64(time.Now().UnixNano()) / 1e9,
+		GoVersion:   runtime.Version(),
+		Errors:      map[string]string{},
+	}
+	write := func(rel string, data []byte) {
+		if err := os.MkdirAll(filepath.Dir(filepath.Join(dir, rel)), 0o755); err != nil {
+			man.Errors[rel] = err.Error()
+			return
+		}
+		if err := os.WriteFile(filepath.Join(dir, rel), data, 0o644); err != nil {
+			man.Errors[rel] = err.Error()
+			return
+		}
+		man.Files = append(man.Files, rel)
+	}
+
+	// Process-wide profiles. These cover every in-process node (the live
+	// test cluster) or the single swebd process; a remote trigger captures
+	// them inside the serving process itself.
+	for _, prof := range []string{"goroutine", "heap"} {
+		var buf bytes.Buffer
+		if p := pprof.Lookup(prof); p == nil {
+			man.Errors["profiles/"+prof+".pprof"] = "profile not registered"
+		} else if err := p.WriteTo(&buf, 0); err != nil {
+			man.Errors["profiles/"+prof+".pprof"] = err.Error()
+		} else {
+			write("profiles/"+prof+".pprof", buf.Bytes())
+		}
+	}
+	cpuSec := opts.CPUSeconds
+	if cpuSec == 0 {
+		cpuSec = 0.2
+	}
+	if cpuSec > 0 {
+		var buf bytes.Buffer
+		// StartCPUProfile fails when another profile is already running
+		// (e.g. two alerts racing, or swebd -pprof-addr mid-capture);
+		// the bundle proceeds without it.
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			man.Errors["profiles/cpu.pprof"] = err.Error()
+		} else {
+			time.Sleep(time.Duration(cpuSec * float64(time.Second)))
+			pprof.StopCPUProfile()
+			write("profiles/cpu.pprof", buf.Bytes())
+		}
+	}
+
+	for _, ns := range nodes {
+		name := sanitizeName(ns.Name)
+		man.Nodes = append(man.Nodes, name)
+		base := "node-" + name
+		if ns.Err != "" {
+			write(filepath.Join(base, "error.txt"), []byte(ns.Err+"\n"))
+			continue
+		}
+		if len(ns.Metrics) > 0 {
+			write(filepath.Join(base, "metrics.prom"), ns.Metrics)
+		}
+		if len(ns.Status) > 0 {
+			write(filepath.Join(base, "status.json"), ns.Status)
+		}
+		if len(ns.Trace) > 0 {
+			write(filepath.Join(base, "trace.json"), ns.Trace)
+		}
+		if fl, err := json.MarshalIndent(ns.Flight, "", "  "); err != nil {
+			man.Errors[filepath.Join(base, "flight.json")] = err.Error()
+		} else {
+			write(filepath.Join(base, "flight.json"), fl)
+		}
+		if ns.Conns != nil {
+			if cj, err := json.MarshalIndent(ns.Conns, "", "  "); err != nil {
+				man.Errors[filepath.Join(base, "conns.json")] = err.Error()
+			} else {
+				write(filepath.Join(base, "conns.json"), cj)
+			}
+		}
+	}
+
+	mj, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return dir, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"), mj, 0o644); err != nil {
+		return dir, err
+	}
+	return dir, nil
+}
+
+// makeBundleDir creates parent/<stamp>-<reason>[.k], retrying with a
+// numeric suffix when two snapshots land in the same nanosecond.
+func makeBundleDir(parent, reason string) (string, error) {
+	t := time.Now().UTC()
+	stamp := t.Format("20060102T150405") + fmt.Sprintf(".%09d", t.Nanosecond())
+	base := filepath.Join(parent, stamp+"-"+sanitizeName(reason))
+	dir := base
+	for k := 1; ; k++ {
+		err := os.Mkdir(dir, 0o755)
+		if err == nil {
+			return dir, nil
+		}
+		if !os.IsExist(err) {
+			return "", err
+		}
+		if k > 100 {
+			return "", fmt.Errorf("flight: cannot create bundle dir under %s: %w", parent, err)
+		}
+		dir = fmt.Sprintf("%s.%d", base, k)
+	}
+}
+
+// sanitizeName keeps bundle path components filesystem-safe.
+func sanitizeName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+			out = append(out, c)
+		default:
+			out = append(out, '-')
+		}
+	}
+	trimmed := string(out)
+	for len(trimmed) > 0 && trimmed[0] == '-' {
+		trimmed = trimmed[1:]
+	}
+	for len(trimmed) > 0 && trimmed[len(trimmed)-1] == '-' {
+		trimmed = trimmed[:len(trimmed)-1]
+	}
+	if trimmed == "" {
+		return "x"
+	}
+	return trimmed
+}

@@ -1,0 +1,198 @@
+package flight
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Record{Status: 200})
+	if r.Total() != 0 || r.NotableTotal() != 0 {
+		t.Fatal("nil recorder reported nonzero totals")
+	}
+	d := r.Dump()
+	if d.Enabled {
+		t.Fatal("nil recorder dumps Enabled=true")
+	}
+}
+
+func TestNotableClassification(t *testing.T) {
+	r := New(Config{Cap: 8, NotableCap: 8, SlowSeconds: 0.5})
+	r.Add(Record{Status: 200, TotalSeconds: 0.1})  // healthy
+	r.Add(Record{Status: 404, TotalSeconds: 0.1})  // error
+	r.Add(Record{Status: 0, TotalSeconds: 0.1})    // failed write
+	r.Add(Record{Status: 200, TotalSeconds: 0.9})  // slow
+	r.Add(Record{Status: 302, TotalSeconds: 0.01}) // healthy redirect
+
+	if got := r.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	if got := r.NotableTotal(); got != 3 {
+		t.Fatalf("NotableTotal = %d, want 3", got)
+	}
+	d := r.Dump()
+	if len(d.Records) != 5 || len(d.Notable) != 3 {
+		t.Fatalf("dump sizes = %d/%d, want 5/3", len(d.Records), len(d.Notable))
+	}
+	wantNotable := []string{NotableError, NotableError, NotableSlow}
+	for i, rec := range d.Notable {
+		if rec.Notable != wantNotable[i] {
+			t.Errorf("notable[%d] class %q, want %q", i, rec.Notable, wantNotable[i])
+		}
+	}
+	// Sequence numbers are assigned in add order.
+	for i, rec := range d.Records {
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("records[%d].Seq = %d, want %d", i, rec.Seq, i+1)
+		}
+	}
+}
+
+func TestSlowDisabled(t *testing.T) {
+	r := New(Config{SlowSeconds: -1})
+	r.Add(Record{Status: 200, TotalSeconds: 100})
+	if got := r.NotableTotal(); got != 0 {
+		t.Fatalf("slow routing disabled but NotableTotal = %d", got)
+	}
+}
+
+func TestRingEvictionKeepsNotable(t *testing.T) {
+	// A burst of healthy traffic wraps the recent ring but the one error
+	// stays pinned in the notable ring — the whole point of the split.
+	r := New(Config{Cap: 4, NotableCap: 4})
+	r.Add(Record{Status: 500, Path: "/broken"})
+	for i := 0; i < 10; i++ {
+		r.Add(Record{Status: 200, Path: "/ok"})
+	}
+	d := r.Dump()
+	if len(d.Records) != 4 {
+		t.Fatalf("recent ring holds %d, want 4", len(d.Records))
+	}
+	for _, rec := range d.Records {
+		if rec.Path == "/broken" {
+			t.Fatal("evicted record still in recent ring")
+		}
+	}
+	if len(d.Notable) != 1 || d.Notable[0].Path != "/broken" {
+		t.Fatalf("notable ring = %+v, want the one /broken error", d.Notable)
+	}
+	// Oldest-first ordering after wrap.
+	for i := 1; i < len(d.Records); i++ {
+		if d.Records[i].Seq <= d.Records[i-1].Seq {
+			t.Fatal("recent ring not oldest-first after wrap")
+		}
+	}
+}
+
+func TestMergeOrdersAcrossNodes(t *testing.T) {
+	d0 := Dump{Records: []Record{
+		{Seq: 1, Node: 0, AtSeconds: 0.5},
+		{Seq: 2, Node: 0, AtSeconds: 2.0},
+	}}
+	d1 := Dump{Records: []Record{
+		{Seq: 1, Node: 1, AtSeconds: 1.0},
+		{Seq: 2, Node: 1, AtSeconds: 0.5},
+	}}
+	got := Merge([]Dump{d0, d1}, false)
+	if len(got) != 4 {
+		t.Fatalf("merged %d records, want 4", len(got))
+	}
+	order := []struct {
+		node int
+		seq  int64
+	}{{0, 1}, {1, 2}, {1, 1}, {0, 2}}
+	for i, want := range order {
+		if got[i].Node != want.node || got[i].Seq != want.seq {
+			t.Fatalf("merge[%d] = node %d seq %d, want node %d seq %d",
+				i, got[i].Node, got[i].Seq, want.node, want.seq)
+		}
+	}
+}
+
+func TestRenderRecords(t *testing.T) {
+	out := RenderRecords("flight", []Record{
+		{Seq: 1, Node: 0, Path: "/a", Status: 200, TTFBSeconds: 0.01,
+			TotalSeconds: 0.02, Target: -1, PredictedSeconds: -1, CacheHit: true},
+		{Seq: 2, Node: 1, Path: "/b", Status: 302, Redirected: true,
+			Target: 2, PredictedSeconds: 0.4, TTFBSeconds: -1},
+	})
+	for _, want := range []string{"/a", "/b", "ttfb", "302", "C", "R"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if empty := RenderRecords("flight", nil); !strings.Contains(empty, "no records") {
+		t.Fatalf("empty render missing placeholder:\n%s", empty)
+	}
+}
+
+func TestSnapshotWritesBundle(t *testing.T) {
+	dir := t.TempDir()
+	r := New(Config{})
+	r.Add(Record{Status: 200, Path: "/x", TotalSeconds: 0.01})
+	nodes := []NodeState{
+		{
+			Name:    "node0",
+			Metrics: []byte("# TYPE sweb_inflight gauge\nsweb_inflight 0\n"),
+			Status:  []byte(`{"id":0}`),
+			Flight:  r.Dump(),
+			Conns:   []int{1, 2},
+		},
+		{Name: "node1", Err: "connection refused"},
+	}
+	bundle, err := Snapshot(SnapshotOptions{Dir: dir, Reason: "test", CPUSeconds: 0.01}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{
+		"MANIFEST.json",
+		"profiles/goroutine.pprof",
+		"profiles/heap.pprof",
+		"node-node0/metrics.prom",
+		"node-node0/status.json",
+		"node-node0/flight.json",
+		"node-node0/conns.json",
+		"node-node1/error.txt",
+	} {
+		fi, err := os.Stat(filepath.Join(bundle, rel))
+		if err != nil {
+			t.Fatalf("bundle missing %s: %v", rel, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("bundle file %s is empty", rel)
+		}
+	}
+	man, err := os.ReadFile(filepath.Join(bundle, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"reason": "test"`, `"node0"`, `"node1"`} {
+		if !strings.Contains(string(man), want) {
+			t.Fatalf("manifest missing %s:\n%s", want, man)
+		}
+	}
+}
+
+func TestSnapshotNeedsDir(t *testing.T) {
+	if _, err := Snapshot(SnapshotOptions{}, nil); err == nil {
+		t.Fatal("snapshot without a directory did not error")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"node0":        "node0",
+		"alert-x/../y": "alert-x----y",
+		"../../etc":    "etc",
+		"":             "x",
+		"---":          "x",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -5,8 +5,36 @@ import (
 	"net"
 	"time"
 
+	"sweb/internal/flight"
 	"sweb/internal/httpmsg"
 )
+
+// writeMeter wraps the client socket on the write side so the serve loop
+// can measure time-to-first-byte and per-response byte counts without the
+// fulfillment paths knowing: the instant the first byte of a response
+// reaches the wire is recorded regardless of which path (simple, stream,
+// chunked) produced it. Only the handler goroutine writes, so the fields
+// need no lock.
+type writeMeter struct {
+	net.Conn
+	firstWrite time.Time
+	written    int64
+}
+
+func (w *writeMeter) Write(p []byte) (int, error) {
+	if w.firstWrite.IsZero() && len(p) > 0 {
+		w.firstWrite = time.Now()
+	}
+	n, err := w.Conn.Write(p)
+	w.written += int64(n)
+	return n, err
+}
+
+// reset arms the meter for the next request on the connection.
+func (w *writeMeter) reset() {
+	w.firstWrite = time.Time{}
+	w.written = 0
+}
 
 // reqConn is one client connection's serving state: the buffered reader
 // requests are parsed from, the protocol version the current response must
@@ -15,7 +43,9 @@ import (
 // truthful Connection header.
 type reqConn struct {
 	s         *Server
-	c         net.Conn
+	c         net.Conn // the metered connection responses are written to
+	meter     *writeMeter
+	id        int64 // tracked connection id, for flight records
 	br        *bufio.Reader
 	proto     string // response protocol version, echoing the request
 	keepAlive bool   // whether the connection survives the current response
@@ -70,9 +100,17 @@ func (s *Server) isDraining() bool {
 // budgets. This replaces the old one-request-per-connection handle with
 // its single whole-connection deadline — a keep-alive client now pays the
 // TCP handshake once, which is exactly the saving the paper's t_redirection
-// term wants after a 302.
-func (s *Server) serveConn(c net.Conn) {
-	rc := &reqConn{s: s, c: c, br: bufio.NewReader(c), proto: "HTTP/1.0"}
+// term wants after a 302. Deadlines stay on the raw socket; responses go
+// through the write meter so every request leaves a flight record with an
+// honest time-to-first-byte.
+func (s *Server) serveConn(c net.Conn, ci *connInfo) {
+	w := &writeMeter{Conn: c}
+	rc := &reqConn{s: s, c: w, meter: w, id: ci.id, br: bufio.NewReader(c), proto: "HTTP/1.0"}
+	defer func() {
+		// Requests-per-connection, observed once at connection end: the
+		// keep-alive amortization the PR 6 data plane bought.
+		s.nm.keepAliveServed(float64(rc.served))
+	}()
 	for {
 		// Idle wait: the peer may keep the connection open up to
 		// IdleTimeout between requests. Pipelined bytes already buffered
@@ -80,9 +118,14 @@ func (s *Server) serveConn(c net.Conn) {
 		_ = c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		if _, err := rc.br.Peek(1); err != nil {
 			// Clean close, idle timeout, or reset between requests:
-			// nothing was promised, nothing to answer.
+			// nothing was promised, nothing to answer. A timeout on a
+			// live server is the idle reaper doing its job.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !s.isDraining() {
+				s.idleReaped.Add(1)
+			}
 			return
 		}
+		w.reset()
 		t0 := time.Now()
 		_ = c.SetReadDeadline(t0.Add(connTimeout))
 		req, err := httpmsg.ReadRequest(rc.br)
@@ -95,9 +138,11 @@ func (s *Server) serveConn(c net.Conn) {
 			_ = rc.simple(httpmsg.StatusBadRequest, nil,
 				httpmsg.ErrorBody(httpmsg.StatusBadRequest, err.Error()))
 			s.logAccess(c, nil, httpmsg.StatusBadRequest, -1)
+			s.flightAdd(rc, flight.Record{Path: "(unparsed)"}, t0, httpmsg.StatusBadRequest)
 			return
 		}
 		rc.served++
+		ci.served.Add(1)
 		rc.proto = "HTTP/1.0"
 		if req.Proto == "HTTP/1.1" {
 			rc.proto = "HTTP/1.1"
@@ -107,7 +152,9 @@ func (s *Server) serveConn(c net.Conn) {
 			!s.isDraining()
 		_ = c.SetWriteDeadline(time.Now().Add(connTimeout))
 		s.reqActive.Add(1)
+		ci.active.Store(true)
 		s.handle(rc, req, t0)
+		ci.active.Store(false)
 		s.reqActive.Add(-1)
 		if !rc.keepAlive || s.isDraining() {
 			return

@@ -16,6 +16,7 @@ import (
 	"sweb/internal/accesslog"
 	"sweb/internal/cache"
 	"sweb/internal/core"
+	"sweb/internal/flight"
 	"sweb/internal/httpmsg"
 	"sweb/internal/retry"
 	"sweb/internal/storage"
@@ -108,9 +109,9 @@ func (s *Server) acceptLoop() {
 			defer s.wg.Done()
 			defer s.inflight.Add(-1)
 			defer conn.Close()
-			s.trackConn(conn)
+			ci := s.trackConn(conn)
 			defer s.untrackConn(conn)
-			s.serveConn(conn)
+			s.serveConn(conn, ci)
 		}()
 	}
 }
@@ -159,7 +160,8 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 	// fetches: rescheduling /sweb/status would report the wrong node.
 	if !internal && !s.cfg.DisableIntrospection && strings.HasPrefix(req.Path, introspectPrefix) {
 		s.introspect.Add(1)
-		s.serveIntrospection(rc, req)
+		status := s.serveIntrospection(rc, req)
+		s.flightAdd(rc, flight.Record{Path: req.Path, Target: -1}, t0, status)
 		return
 	}
 
@@ -205,6 +207,15 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 		_ = rc.simple(httpmsg.StatusNotFound, nil,
 			httpmsg.ErrorBody(httpmsg.StatusNotFound, "The requested URL was not found on this server."))
 		s.logAccess(rc.c, req, httpmsg.StatusNotFound, -1)
+		if !internal {
+			s.flightAdd(rc, flight.Record{
+				Path:         req.Path,
+				TraceID:      string(tctx),
+				Target:       -1,
+				Redirected:   redirects > 0,
+				ParseSeconds: tParsed.Sub(t0).Seconds(),
+			}, t0, httpmsg.StatusNotFound)
+		}
 		return
 	}
 
@@ -270,6 +281,15 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 					// only skew later decisions.
 					s.errors.Add(1)
 					s.drop("write_failed")
+					s.flightAdd(rc, flight.Record{
+						Path:             req.Path,
+						TraceID:          string(tctx),
+						Policy:           s.cfg.Policy.Name(),
+						Target:           target,
+						PredictedSeconds: sanitizeSeconds(dec.Estimate),
+						ParseSeconds:     tParsed.Sub(t0).Seconds(),
+						AnalyzeSeconds:   tAnalyzed.Sub(tParsed).Seconds(),
+					}, t0, 0)
 					return
 				}
 				tSent := time.Now()
@@ -293,6 +313,16 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 					Candidates:       sanitizeCandidates(dec.Candidates),
 				})
 				s.logAccess(rc.c, req, httpmsg.StatusMovedTemporarily, -1)
+				s.flightAdd(rc, flight.Record{
+					Path:             req.Path,
+					TraceID:          string(tctx),
+					Policy:           s.cfg.Policy.Name(),
+					Target:           target,
+					Redirected:       true,
+					PredictedSeconds: sanitizeSeconds(dec.Estimate),
+					ParseSeconds:     tParsed.Sub(t0).Seconds(),
+					AnalyzeSeconds:   tAnalyzed.Sub(tParsed).Seconds(),
+				}, t0, httpmsg.StatusMovedTemporarily)
 				return
 			}
 		}
@@ -344,6 +374,23 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 	}
 	total := done.Sub(t0).Seconds()
 	s.nm.response.Observe(total)
+
+	fl := flight.Record{
+		Path:             req.Path,
+		TraceID:          string(tctx),
+		Target:           -1,
+		Redirected:       redirects > 0,
+		CacheHit:         cacheHit,
+		PredictedSeconds: -1,
+		ParseSeconds:     tParsed.Sub(t0).Seconds(),
+		AnalyzeSeconds:   tAnalyzed.Sub(tParsed).Seconds(),
+	}
+	if scheduled {
+		fl.Policy = s.cfg.Policy.Name()
+		fl.Target = s.cfg.ID
+		fl.PredictedSeconds = sanitizeSeconds(dec.Estimate)
+	}
+	s.flightAdd(rc, fl, t0, status)
 
 	if scheduled {
 		a := DecisionAudit{

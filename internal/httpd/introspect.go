@@ -174,6 +174,32 @@ func (s *Server) serveIntrospection(rc *reqConn, req *httpmsg.Request) int {
 			return code
 		}
 		body, ctype = append(b, '\n'), "application/json"
+	case "/sweb/flight":
+		b, err := json.Marshal(s.FlightDump())
+		if err != nil {
+			code := httpmsg.StatusInternalServerError
+			_ = rc.simple(code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(rc.c, req, code, -1)
+			return code
+		}
+		body, ctype = append(b, '\n'), "application/json"
+	case "/sweb/snapshot":
+		if s.cfg.SnapshotDir == "" {
+			code := httpmsg.StatusServiceUnavailable
+			_ = rc.simple(code, nil,
+				httpmsg.ErrorBody(code, "No snapshot directory configured (-snapshot-dir)."))
+			s.logAccess(rc.c, req, code, -1)
+			return code
+		}
+		bundle, err := s.WriteSnapshot("manual")
+		if err != nil {
+			code := httpmsg.StatusInternalServerError
+			_ = rc.simple(code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(rc.c, req, code, -1)
+			return code
+		}
+		b, _ := json.Marshal(map[string]string{"bundle": bundle})
+		body, ctype = append(b, '\n'), "application/json"
 	case "/sweb/metrics":
 		var buf bytes.Buffer
 		if err := s.nm.reg.WriteText(&buf); err != nil {

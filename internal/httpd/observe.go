@@ -46,7 +46,20 @@ const (
 	mCacheShared    = "sweb_cache_singleflight_shared_total"
 	mCacheBytes     = "sweb_cache_bytes"
 	mCacheCapacity  = "sweb_cache_capacity_bytes"
+	// Connection-plane state split by phase (sweb_inflight stays as the
+	// conflated total the monitor's default rules read) plus the flight
+	// recorder's own accounting.
+	mConnsActive   = "sweb_conns_active"
+	mConnsIdle     = "sweb_conns_idle"
+	mIdleReaped    = "sweb_conns_idle_reaped_total"
+	mKeepAlivePer  = "sweb_keepalive_requests_per_conn"
+	mFlightRecords = "sweb_flight_records_total"
+	mFlightNotable = "sweb_flight_notable_total"
 )
+
+// keepAliveBuckets cover one-shot connections through a fully amortized
+// KeepAliveMax=100 and beyond.
+var keepAliveBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250}
 
 // gossipIntervalBuckets cover a healthy 2-3 s gossip period up through the
 // 8 s default timeout and well past it, so a dying peer's growing gaps are
@@ -65,6 +78,7 @@ type nodeMetrics struct {
 	response *metrics.Histogram
 	compared *metrics.Counter
 	absErr   *metrics.Histogram
+	kaServed *metrics.Histogram
 }
 
 func newNodeMetrics(s *Server) *nodeMetrics {
@@ -77,9 +91,22 @@ func newNodeMetrics(s *Server) *nodeMetrics {
 			"requests with both a finite prediction and a measured total", nil),
 		absErr: reg.Histogram(mSchedAbsErr,
 			"absolute error |predicted - actual| of the broker's t_s", nil, nil),
+		kaServed: reg.Histogram(mKeepAlivePer,
+			"requests served per client connection, observed at connection end",
+			nil, keepAliveBuckets),
 	}
 	reg.GaugeFunc("sweb_inflight", "client connections open now (idle keep-alive included)", nil,
 		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc(mConnsActive, "client connections with a request mid-lifecycle now", nil,
+		func() float64 { a, _ := s.connCounts(); return float64(a) })
+	reg.GaugeFunc(mConnsIdle, "client connections parked between requests now", nil,
+		func() float64 { _, i := s.connCounts(); return float64(i) })
+	reg.CounterFunc(mIdleReaped, "keep-alive connections closed by the idle timeout", nil,
+		func() float64 { return float64(s.idleReaped.Load()) })
+	reg.CounterFunc(mFlightRecords, "requests recorded by the flight recorder", nil,
+		func() float64 { return float64(s.flight.Total()) })
+	reg.CounterFunc(mFlightNotable, "flight records retained as notable (errors and slow requests)", nil,
+		func() float64 { return float64(s.flight.NotableTotal()) })
 	reg.GaugeFunc("sweb_requests_active", "requests mid-lifecycle now (the load signal)", nil,
 		func() float64 { return float64(s.reqActive.Load()) })
 	reg.GaugeFunc("sweb_capacity", "concurrent-connection ceiling (MAXLOAD analogue)", nil,
@@ -193,6 +220,11 @@ func (m *nodeMetrics) phase(phase string, seconds float64) {
 func (m *nodeMetrics) redirect(target int) {
 	m.reg.Counter(mRedirects, "302s issued, by target node",
 		metrics.Labels{"target": strconv.Itoa(target)}).Inc()
+}
+
+// keepAliveServed observes one connection's request count at its end.
+func (m *nodeMetrics) keepAliveServed(n float64) {
+	m.kaServed.Observe(n)
 }
 
 // prediction accumulates one predicted/actual pair for a t_s phase

@@ -19,6 +19,7 @@ import (
 	"sweb/internal/accesslog"
 	"sweb/internal/cache"
 	"sweb/internal/core"
+	"sweb/internal/flight"
 	"sweb/internal/loadd"
 	"sweb/internal/oracle"
 	"sweb/internal/retry"
@@ -135,6 +136,23 @@ type Config struct {
 	// DisableIntrospection turns off the /sweb/status and /sweb/metrics
 	// endpoints (served by default on the main listener).
 	DisableIntrospection bool
+
+	// FlightRing sizes the flight recorder's recent ring (default
+	// flight.DefaultCap); FlightNotable sizes the always-retained
+	// slow/error ring (default flight.DefaultNotableCap).
+	FlightRing    int
+	FlightNotable int
+	// FlightOff disables the flight recorder entirely — the ablation
+	// switch for measuring its overhead.
+	FlightOff bool
+	// SlowThreshold routes requests slower than this into the notable
+	// ring (default 1s; negative disables slow routing, errors are still
+	// retained).
+	SlowThreshold time.Duration
+	// SnapshotDir, when set, enables diagnostic snapshot bundles: the
+	// /sweb/snapshot endpoint and alert-triggered captures write
+	// timestamped bundle directories under it.
+	SnapshotDir string
 }
 
 func (c *Config) fillDefaults() error {
@@ -231,6 +249,7 @@ type Stats struct {
 	UpstreamReused int64            `json:"upstream_reused"`
 	Broadcasts     int64            `json:"broadcasts"`
 	SamplesHeard   int64            `json:"samples_heard"`
+	IdleReaped     int64            `json:"idle_reaped"`
 	Drops          map[string]int64 `json:"drops,omitempty"`
 }
 
@@ -263,9 +282,15 @@ type Server struct {
 	netActive  atomic.Int64
 
 	// conns tracks open client connections so drain and close can wake
-	// ones parked in idle keep-alive reads.
-	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	// ones parked in idle keep-alive reads, and carries the per-connection
+	// state the flight recorder and the conn-table snapshot read.
+	connMu  sync.Mutex
+	conns   map[net.Conn]*connInfo
+	connSeq atomic.Int64 // connection ids, monotone per node
+
+	// flight is the request black box; nil when Config.FlightOff.
+	flight     *flight.Recorder
+	idleReaped atomic.Int64
 
 	// ups pools idle internal-fetch connections per peer.
 	ups                           *upstreamPool
@@ -335,11 +360,21 @@ func New(cfg Config) (*Server, error) {
 		draining:   make(chan struct{}),
 		dropCounts: make(map[string]int64),
 		audit:      newAuditLog(auditCap),
-		conns:      make(map[net.Conn]struct{}),
+		conns:      make(map[net.Conn]*connInfo),
 		ups:        newUpstreamPool(0),
 	}
 	if !cfg.CacheOff {
 		s.cache = cache.New(cfg.CacheBytes)
+	}
+	if !cfg.FlightOff {
+		fcfg := flight.Config{Cap: cfg.FlightRing, NotableCap: cfg.FlightNotable}
+		switch {
+		case cfg.SlowThreshold < 0:
+			fcfg.SlowSeconds = -1
+		case cfg.SlowThreshold > 0:
+			fcfg.SlowSeconds = cfg.SlowThreshold.Seconds()
+		}
+		s.flight = flight.New(fcfg)
 	}
 	s.nm = newNodeMetrics(s)
 	return s, nil
@@ -411,11 +446,27 @@ func (s *Server) Start() {
 	go s.listenLoop()
 }
 
-// trackConn registers an open client connection for drain/close wakeups.
-func (s *Server) trackConn(c net.Conn) {
+// connInfo is the tracked state of one open client connection, shared by
+// its serve loop and the conn-table snapshot.
+type connInfo struct {
+	id     int64
+	opened time.Time
+	remote string
+	served atomic.Int64
+	active atomic.Bool // a request is mid-lifecycle right now
+}
+
+// trackConn registers an open client connection for drain/close wakeups
+// and assigns its node-unique id.
+func (s *Server) trackConn(c net.Conn) *connInfo {
+	ci := &connInfo{id: s.connSeq.Add(1), opened: time.Now()}
+	if addr := c.RemoteAddr(); addr != nil {
+		ci.remote = addr.String()
+	}
 	s.connMu.Lock()
-	s.conns[c] = struct{}{}
+	s.conns[c] = ci
 	s.connMu.Unlock()
+	return ci
 }
 
 func (s *Server) untrackConn(c net.Conn) {
@@ -520,6 +571,7 @@ func (s *Server) Stats() Stats {
 		UpstreamReused: s.upstreamReused.Load(),
 		Broadcasts:     s.broadcasts.Load(),
 		SamplesHeard:   s.samplesHeard.Load(),
+		IdleReaped:     s.idleReaped.Load(),
 	}
 	s.dropMu.Lock()
 	if len(s.dropCounts) > 0 {

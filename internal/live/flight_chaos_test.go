@@ -1,0 +1,159 @@
+package live
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sweb/internal/flight"
+	"sweb/internal/monitor"
+	"sweb/internal/storage"
+)
+
+// TestFlightSnapshotOnNodeDown is the flight recorder's acceptance
+// scenario: traffic fills every node's black box, a node is killed,
+// node_down fires, and the OnFire hook writes one cross-node snapshot
+// bundle — process profiles, plus flight rings, metrics, and status from
+// every surviving node, with the corpse recorded as a hole. When
+// SWEB_SNAPSHOT_DIR is set (CI does this) the bundle lands there, so a
+// failing chaos run leaves an artifact to download.
+func TestFlightSnapshotOnNodeDown(t *testing.T) {
+	const (
+		nodes        = 3
+		dead         = 2
+		loaddPeriod  = 50 * time.Millisecond
+		loaddTimeout = 400 * time.Millisecond
+		collect      = 60 * time.Millisecond
+	)
+	snapDir := os.Getenv("SWEB_SNAPSHOT_DIR")
+	if snapDir == "" {
+		snapDir = t.TempDir()
+	} else if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st := storage.NewStore(nodes)
+	paths := storage.UniformSet(st, 6, 2048)
+	cl, err := Start(Options{
+		Nodes: nodes, Store: st, BaseDir: t.TempDir(), Policy: "sweb",
+		LoaddPeriod:  loaddPeriod,
+		LoaddTimeout: loaddTimeout,
+		SnapshotDir:  snapDir,
+		Seed:         31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitKnown(t, []int{0, 1, 2}, cl, nodes, 10*time.Second)
+
+	mon := cl.StartMonitor(monitor.Config{
+		Window: 2,
+		Rules: monitor.RuleConfig{
+			StalenessSeconds: loaddTimeout.Seconds(),
+			ForSamples:       2,
+		},
+	}, collect)
+
+	// Fill the black boxes before the fault: the bundle must carry the
+	// traffic that preceded the failure, that is its whole point.
+	client := cl.NewClient()
+	for _, p := range paths {
+		if res, err := client.Get(p); err != nil || res.Status != 200 {
+			t.Fatalf("get %s: res=%+v err=%v", p, res, err)
+		}
+	}
+
+	waitFor(t, "first collection rounds", 5*time.Second, func() bool { return mon.Rounds() >= 3 })
+	if got := cl.Bundles(); len(got) != 0 {
+		t.Fatalf("healthy cluster already wrote bundles: %v", got)
+	}
+
+	if err := cl.Kill(dead); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "node_down to fire", 10*time.Second, func() bool {
+		return mon.AlertFiring("node_down", strconv.Itoa(dead))
+	})
+	waitFor(t, "alert-triggered bundle", 10*time.Second, func() bool {
+		return len(cl.Bundles()) >= 1
+	})
+
+	bundle := cl.Bundles()[0]
+	if !strings.Contains(filepath.Base(bundle), "alert-") {
+		t.Fatalf("bundle %s not named after the alert", bundle)
+	}
+
+	// Process profiles captured programmatically.
+	for _, rel := range []string{"profiles/goroutine.pprof", "profiles/heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(bundle, rel))
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("bundle missing %s: err=%v", rel, err)
+		}
+	}
+
+	// The manifest indexes the bundle and names every node, dead included.
+	mb, err := os.ReadFile(filepath.Join(bundle, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man flight.Manifest
+	if err := json.Unmarshal(mb, &man); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(man.Reason, "alert-") {
+		t.Fatalf("manifest reason %q", man.Reason)
+	}
+	if len(man.Nodes) != nodes {
+		t.Fatalf("manifest nodes %v, want %d entries", man.Nodes, nodes)
+	}
+
+	// Every survivor contributed its flight rings, metrics, and status.
+	for _, i := range []int{0, 1} {
+		ndir := filepath.Join(bundle, "node-node"+strconv.Itoa(i))
+		fb, err := os.ReadFile(filepath.Join(ndir, "flight.json"))
+		if err != nil {
+			t.Fatalf("node %d flight rings missing: %v", i, err)
+		}
+		var d flight.Dump
+		if err := json.Unmarshal(fb, &d); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Enabled || d.Total == 0 || len(d.Records) == 0 {
+			t.Fatalf("node %d black box empty in bundle: %+v", i, d)
+		}
+		pm, err := os.ReadFile(filepath.Join(ndir, "metrics.prom"))
+		if err != nil || !strings.Contains(string(pm), "sweb_inflight") {
+			t.Fatalf("node %d metrics snapshot unusable: err=%v", i, err)
+		}
+		if _, err := os.Stat(filepath.Join(ndir, "status.json")); err != nil {
+			t.Fatalf("node %d status missing: %v", i, err)
+		}
+	}
+
+	// The corpse is an explicit hole, not a silent omission.
+	eb, err := os.ReadFile(filepath.Join(bundle, "node-node"+strconv.Itoa(dead), "error.txt"))
+	if err != nil {
+		t.Fatalf("dead node left no error marker: %v", err)
+	}
+	if !strings.Contains(string(eb), "down") {
+		t.Fatalf("dead node error marker says %q", eb)
+	}
+
+	// The cooldown keeps the alert storm from writing a bundle per rule:
+	// gossip_stale fires right behind node_down, yet one bundle stands.
+	// (Only assertable while still inside the cooldown window — a starved
+	// CI machine could legitimately stretch past it.)
+	firstBundleAt := time.Now()
+	waitFor(t, "gossip_stale to fire", 10*time.Second, func() bool {
+		return mon.AlertFiring("gossip_stale", strconv.Itoa(dead))
+	})
+	if time.Since(firstBundleAt) < snapshotCooldown {
+		if n := len(cl.Bundles()); n != 1 {
+			t.Fatalf("alert storm wrote %d bundles, cooldown should hold it to 1", n)
+		}
+	}
+}

@@ -88,6 +88,18 @@ type Options struct {
 	// DisableIntrospection turns off /sweb/status and /sweb/metrics on
 	// every node.
 	DisableIntrospection bool
+	// FlightOff disables the flight recorder on every node (the overhead
+	// ablation); FlightRing/FlightNotable size the rings (zero: flight
+	// defaults); SlowThreshold routes slower requests to the notable ring
+	// (zero: 1s default, negative: disabled).
+	FlightOff     bool
+	FlightRing    int
+	FlightNotable int
+	SlowThreshold time.Duration
+	// SnapshotDir, when set, enables diagnostic bundles: alerts from the
+	// cluster monitor and WriteSnapshot calls write cross-node bundle
+	// directories under it.
+	SnapshotDir string
 	// Seed drives file content generation.
 	Seed int64
 }
@@ -105,6 +117,13 @@ type Cluster struct {
 	peers []httpd.Peer
 	// ms is the attached cluster monitor, nil until StartMonitor.
 	ms *monitorState
+
+	// snapshotDir is the bundle destination; snapMu serializes writes and
+	// guards the cooldown clock and the written-bundle list.
+	snapshotDir string
+	snapMu      sync.Mutex
+	lastSnap    time.Time
+	bundles     []string
 }
 
 // Start materializes the docroots, binds and starts every node, and wires
@@ -141,7 +160,7 @@ func Start(o Options) (*Cluster, error) {
 		params = core.DefaultParams()
 	}
 
-	cl := &Cluster{store: o.Store, epoch: time.Now()}
+	cl := &Cluster{store: o.Store, epoch: time.Now(), snapshotDir: o.SnapshotDir}
 	for i := 0; i < o.Nodes; i++ {
 		rec := o.Trace
 		if o.NodeTraces > 0 {
@@ -170,6 +189,11 @@ func Start(o Options) (*Cluster, error) {
 			DialDelay:      o.Faults.delayFn(),
 			Trace:          rec,
 			Epoch:          cl.epoch,
+			FlightOff:      o.FlightOff,
+			FlightRing:     o.FlightRing,
+			FlightNotable:  o.FlightNotable,
+			SlowThreshold:  o.SlowThreshold,
+			SnapshotDir:    o.SnapshotDir,
 
 			DisableIntrospection: o.DisableIntrospection,
 		}

@@ -46,6 +46,18 @@ func (c *Cluster) StartMonitor(cfg monitor.Config, period time.Duration) *monito
 	if timeout < 500*time.Millisecond {
 		timeout = 500 * time.Millisecond
 	}
+	// Alert-triggered diagnostics: when the cluster has a snapshot dir,
+	// any newly firing alert captures a cross-node bundle — after the
+	// caller's own OnFire hook, which stays intact.
+	if c.snapshotDir != "" {
+		user := cfg.OnFire
+		cfg.OnFire = func(alerts []monitor.Alert) {
+			if user != nil {
+				user(alerts)
+			}
+			c.maybeSnapshot(alerts)
+		}
+	}
 	m := monitor.New(cfg)
 	for _, src := range c.HTTPSources(timeout) {
 		m.AddSource(src)

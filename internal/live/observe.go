@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"sweb/internal/flight"
 	"sweb/internal/httpd"
 	"sweb/internal/httpmsg"
 	"sweb/internal/metrics"
@@ -33,6 +34,41 @@ func Status(addr string) (*httpd.StatusReport, error) {
 		return nil, fmt.Errorf("live: %s/sweb/status: %v", addr, err)
 	}
 	return &rep, nil
+}
+
+// Flight fetches and decodes one node's /sweb/flight black-box dump.
+func Flight(addr string) (*flight.Dump, error) {
+	code, _, body, err := fetchOnce(addr, "/sweb/flight", scrapeTimeout, 16<<20)
+	if err != nil {
+		return nil, err
+	}
+	if code != httpmsg.StatusOK {
+		return nil, fmt.Errorf("live: %s/sweb/flight returned %d", addr, code)
+	}
+	var dump flight.Dump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		return nil, fmt.Errorf("live: %s/sweb/flight: %v", addr, err)
+	}
+	return &dump, nil
+}
+
+// TriggerSnapshot asks one node to write a diagnostic bundle via
+// /sweb/snapshot and returns the bundle path (local to that node).
+func TriggerSnapshot(addr string) (string, error) {
+	code, _, body, err := fetchOnce(addr, "/sweb/snapshot", scrapeTimeout, 1<<20)
+	if err != nil {
+		return "", err
+	}
+	if code != httpmsg.StatusOK {
+		return "", fmt.Errorf("live: %s/sweb/snapshot returned %d", addr, code)
+	}
+	var resp struct {
+		Bundle string `json:"bundle"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return "", fmt.Errorf("live: %s/sweb/snapshot: %v", addr, err)
+	}
+	return resp.Bundle, nil
 }
 
 // Metrics scrapes and parses one node's /sweb/metrics exposition.

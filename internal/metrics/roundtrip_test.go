@@ -128,6 +128,62 @@ func TestWriteParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHostileLabelValuesRoundTrip pins the escaping rules one hostile
+// value at a time — a request path is an attacker-controlled string, and
+// the flight recorder now routes such paths into label values, so every
+// escape class gets its own case and its own failure message.
+func TestHostileLabelValuesRoundTrip(t *testing.T) {
+	hostile := []string{
+		`"`, `""`, `say "hi"`, // quotes
+		`\`, `\\`, `c:\docs\file`, `trailing\`, `\leading`, // backslashes
+		"\n", "line\nbreak", "\n\n", "ends with\n", // newlines
+		`\"`, "quote\"back\\slash\nnewline", // combinations
+		`/docs/u000001.dat?q="x"\n`, // a hostile request path
+		"",                          // the empty value must survive too
+	}
+	for i, v := range hostile {
+		name := fmt.Sprintf("hostile_%d_total", i)
+		reg := NewRegistry()
+		reg.Counter(name, "hostile label case", Labels{"path": v}).Add(float64(i + 1))
+
+		var buf strings.Builder
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatalf("case %d (%q): WriteText: %v", i, v, err)
+		}
+		text := buf.String()
+		samples, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("case %d (%q): ParseText: %v\n%s", i, v, err, text)
+		}
+		var found bool
+		for _, s := range samples {
+			if s.Name != name {
+				continue
+			}
+			found = true
+			if got := s.Labels["path"]; got != v {
+				t.Errorf("case %d: label value %q round-tripped as %q\n%s", i, v, got, text)
+			}
+			if s.Value != float64(i+1) {
+				t.Errorf("case %d (%q): value %v, want %d", i, v, s.Value, i+1)
+			}
+		}
+		if !found {
+			t.Errorf("case %d: sample with label %q lost entirely\n%s", i, v, text)
+		}
+		// The escaped line itself must stay one physical line: a raw
+		// newline in the exposition would corrupt neighbouring samples.
+		for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+			if strings.HasPrefix(line, "#") || line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, name) {
+				t.Errorf("case %d (%q): stray physical line %q leaked into the exposition", i, v, line)
+			}
+		}
+	}
+}
+
 // TestWriteTextDeterministicOrder builds the same contents in two
 // different registration orders and requires byte-identical exposition.
 func TestWriteTextDeterministicOrder(t *testing.T) {

@@ -29,6 +29,12 @@ type Config struct {
 	Rules RuleConfig
 	// ExtraRules run after the defaults with the same hysteresis driver.
 	ExtraRules []Rule
+	// OnFire, when set, is invoked after any Collect round in which one
+	// or more alerts transitioned to firing, with exactly those alerts.
+	// It runs outside the monitor's lock on the Collect caller's
+	// goroutine, so it may call back into the monitor — but a slow hook
+	// (e.g. writing a diagnostic bundle) delays the next round.
+	OnFire func([]Alert)
 }
 
 // Alert is one firing (or recently cleared) alert instance.
@@ -108,7 +114,6 @@ func (m *Monitor) Rounds() int64 {
 // capture one timeline row per node.
 func (m *Monitor) Collect(now float64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, src := range m.sources {
 		node := src.Node()
 		samples, err := src.Scrape()
@@ -120,17 +125,25 @@ func (m *Monitor) Collect(now float64) {
 		m.store.AppendSamples(node, now, samples)
 	}
 	view := &View{Store: m.store, Nodes: m.nodes, From: now - m.cfg.Window, To: now}
+	var fired []Alert
 	for _, rule := range m.rules {
-		m.evalRule(rule, view, now)
+		fired = append(fired, m.evalRule(rule, view, now)...)
 	}
 	m.captureRows(view, now)
 	m.lastT = now
 	m.rounds++
+	hook := m.cfg.OnFire
+	m.mu.Unlock()
+	if hook != nil && len(fired) > 0 {
+		hook(fired)
+	}
 }
 
-// evalRule advances one rule's hysteresis machines and exports their
-// states as metricAlert samples.
-func (m *Monitor) evalRule(rule Rule, view *View, now float64) {
+// evalRule advances one rule's hysteresis machines, exports their states
+// as metricAlert samples, and returns the alerts that newly fired this
+// round (idle → firing transitions only).
+func (m *Monitor) evalRule(rule Rule, view *View, now float64) []Alert {
+	var fired []Alert
 	vals := rule.Eval(view)
 	states := m.states[rule.Name]
 	if states == nil {
@@ -172,17 +185,23 @@ func (m *Monitor) evalRule(rule Rule, view *View, now float64) {
 					st.firing = true
 					st.sinceT = now
 					st.clears = 0
+					fired = append(fired, Alert{
+						Rule: rule.Name, Node: subject,
+						Value: v, Threshold: rule.Fire,
+						SinceT: now, Firing: true,
+					})
 				}
 			} else {
 				st.breaches = 0
 			}
 		}
-		fired := 0.0
+		up := 0.0
 		if st.firing {
-			fired = 1
+			up = 1
 		}
-		m.store.Append(metricAlert, map[string]string{"rule": rule.Name, "node": subject}, now, fired)
+		m.store.Append(metricAlert, map[string]string{"rule": rule.Name, "node": subject}, now, up)
 	}
+	return fired
 }
 
 // Alerts returns the currently firing alerts, sorted by rule then node.

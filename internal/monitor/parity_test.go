@@ -37,6 +37,8 @@ var coreFamilies = []string{
 	"sweb_cache_singleflight_shared_total",
 	"sweb_cache_bytes",
 	"sweb_cache_capacity_bytes",
+	"sweb_flight_records_total",
+	"sweb_flight_notable_total",
 }
 
 // runSimMonitored drives a simulated burst with a monitor collecting on

@@ -7,6 +7,7 @@ import (
 	"sweb/internal/core"
 	"sweb/internal/des"
 	"sweb/internal/dnsrr"
+	"sweb/internal/flight"
 	"sweb/internal/loadd"
 	"sweb/internal/model"
 	"sweb/internal/netsim"
@@ -30,6 +31,8 @@ type Cluster struct {
 	inflight []int  // admitted, not yet finished server-side, per node
 	up       []bool // node in the resource pool
 	nm       []*simMetrics
+	fl       []*flight.Recorder // per-node black boxes, nil when FlightOff
+	reqSeq   int64              // sim analogue of the live connection id
 
 	res            *stats.RunResult
 	outstanding    int64
@@ -91,6 +94,18 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < n; i++ {
 		c.tables = append(c.tables, loadd.NewTable(i, cfg.LoaddTimeout, c.cfg.Params.Delta))
+	}
+	// Per-node flight recorders precede the registries: the metric
+	// closures read them.
+	if !cfg.FlightOff {
+		fcfg := flight.Config{
+			Cap:         cfg.FlightRing,
+			NotableCap:  cfg.FlightNotable,
+			SlowSeconds: cfg.SlowThresholdSeconds,
+		}
+		for i := 0; i < n; i++ {
+			c.fl = append(c.fl, flight.New(fcfg))
+		}
 	}
 	// Per-node registries mirror the live /sweb/metrics families; they need
 	// the tables in place for the gossip gauges.
@@ -287,7 +302,8 @@ func (c *Cluster) Submit(a workload.Arrival) {
 			}
 			node = n
 		}
-		rs := &request{path: a.Path, domain: a.Domain, issued: c.Sim.Now()}
+		c.reqSeq++
+		rs := &request{path: a.Path, domain: a.Domain, issued: c.Sim.Now(), id: c.reqSeq}
 		rs.tid = c.cfg.Trace.NewRequest()
 		c.trace(rs, trace.EvIssued, -1, "path="+a.Path)
 		c.trace(rs, trace.EvResolved, node, "")
@@ -374,5 +390,10 @@ func (c *Cluster) drop(rs *request, cause stats.DropCause) {
 	c.res.RecordDrop(cause)
 	c.outstanding--
 	c.lastDone = c.Sim.Now()
-	_ = rs
+	if rs != nil {
+		// Refused and unreachable requests still leave black-box evidence:
+		// a 503 record at the node that turned them away, with no target
+		// (the broker never placed them anywhere).
+		c.flightEmit(rs, rs.entry, 503, 0, false)
+	}
 }

@@ -59,6 +59,11 @@ func newSimMetrics(c *Cluster, x int) *simMetrics {
 		func() float64 { _, _, nic := c.nodes[x].LoadVector(); return float64(nic) })
 	reg.CounterFunc("sweb_bytes_out_total", "response body bytes written", nil,
 		func() float64 { return float64(m.bytesOut) })
+	// Flight-recorder accounting, same family names as the live node.
+	reg.CounterFunc("sweb_flight_records_total", "requests recorded by the flight recorder", nil,
+		func() float64 { return float64(c.flightOf(x).Total()) })
+	reg.CounterFunc("sweb_flight_notable_total", "flight records retained as notable (errors and slow requests)", nil,
+		func() float64 { return float64(c.flightOf(x).NotableTotal()) })
 	// Page-cache families, mirroring the live sweb_cache_* exposition.
 	// The DES runs one request at a time, so misses never coalesce and
 	// singleflight_shared stays a constant 0 — published anyway to keep

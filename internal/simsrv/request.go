@@ -31,6 +31,15 @@ type request struct {
 	fetchPhase string  // phase-histogram cell the fulfill path lands in
 	predicted  float64 // broker's t_s estimate for serving here
 	hasPred    bool
+
+	// Flight-recorder state: the connection id, the node the request last
+	// arrived at (where a refusal is attributed), whether fulfillment hit
+	// the page cache, and when the first response byte left the server.
+	id       int64
+	entry    int
+	cacheHit bool
+	ttfbAt   des.Time
+	hasTTFB  bool
 }
 
 const errorResponseBytes = 512 // a 404 body plus headers
@@ -39,6 +48,7 @@ const errorResponseBytes = 512 // a 404 body plus headers
 // node is down or its accept capacity (process table + listen backlog) is
 // exhausted; otherwise the request enters preprocessing.
 func (c *Cluster) arrive(rs *request, x int) {
+	rs.entry = x
 	if !c.up[x] {
 		c.trace(rs, trace.EvRefused, x, "node down")
 		c.drop(rs, stats.DropUnavailable)
@@ -247,6 +257,7 @@ func (c *Cluster) fulfillForwarded(rs *request, x, y int) {
 	releaseY := worker.PinBuffer(f.Size)
 	releaseX := proxy.PinBuffer(f.Size)
 	cached := worker.Cache.Contains(f.Path)
+	rs.cacheHit = cached
 	if cached {
 		worker.Cache.Touch(f.Path)
 	}
@@ -284,6 +295,9 @@ func (c *Cluster) fulfillForwarded(rs *request, x, y int) {
 				c.net.InternalTransfer(y, x, chunk, func() {
 					proxy.CPUWork(model.ActFulfill, relayOpsPerByte*float64(chunk), func() {
 						c.nm[x].bytesOut += chunk
+						if !rs.hasTTFB {
+							rs.ttfbAt, rs.hasTTFB = c.Sim.Now(), true
+						}
 						c.net.ClientTransfer(x, c.cfg.Client, chunk,
 							func() {
 								if last {
@@ -361,6 +375,9 @@ func (c *Cluster) sendOnly(rs *request, x int, size int64) {
 		last := off+chunk >= size
 		node.CPUWork(model.ActFulfill, rs.demand.OpsPerByte*float64(chunk), func() {
 			c.nm[x].bytesOut += chunk
+			if !rs.hasTTFB {
+				rs.ttfbAt, rs.hasTTFB = c.Sim.Now(), true
+			}
 			c.net.ClientTransfer(x, c.cfg.Client, chunk,
 				func() {
 					if last {
@@ -389,6 +406,7 @@ func (c *Cluster) streamFile(rs *request, x int) {
 
 	// One cache decision per file: partial files are not cached.
 	cachedHere := node.Cache.Contains(f.Path)
+	rs.cacheHit = cachedHere
 	if cachedHere {
 		node.Cache.Touch(f.Path)
 	}
@@ -463,6 +481,9 @@ func (c *Cluster) streamFile(rs *request, x int) {
 			}
 			node.CPUWork(model.ActFulfill, rs.demand.OpsPerByte*float64(chunk), func() {
 				c.nm[x].bytesOut += chunk
+				if !rs.hasTTFB {
+					rs.ttfbAt, rs.hasTTFB = c.Sim.Now(), true
+				}
 				c.net.ClientTransfer(x, c.cfg.Client, chunk,
 					func() {
 						if last {
@@ -516,10 +537,12 @@ func (c *Cluster) complete(rs *request) {
 	if resp > c.cfg.ClientTimeout.ToSeconds() {
 		c.trace(rs, trace.EvTimedOut, rs.servedBy, "")
 		c.nm[rs.servedBy].drop("timeout")
+		c.flightComplete(rs, true)
 		c.res.RecordDrop(stats.DropTimeout)
 		return
 	}
 	c.trace(rs, trace.EvDelivered, rs.servedBy, "")
 	c.nm[rs.servedBy].response.Observe(resp)
+	c.flightComplete(rs, false)
 	c.res.RecordSuccess(resp, rs.servedBy, rs.redirects > 0, rs.ph)
 }

@@ -190,6 +190,21 @@ func (r *Recorder) Events() []Event {
 	return append([]Event(nil), r.events...)
 }
 
+// Tail returns a copy of the last n events in capture order (all of them
+// when n <= 0 or fewer exist) — the bounded dump snapshot bundles use.
+func (r *Recorder) Tail(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := 0
+	if n > 0 && len(r.events) > n {
+		start = len(r.events) - n
+	}
+	return append([]Event(nil), r.events[start:]...)
+}
+
 // Span returns one request's events sorted by time.
 func (r *Recorder) Span(req int64) []Event {
 	var out []Event
