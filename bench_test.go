@@ -418,12 +418,20 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 	)
 	// startServe boots a one-node cluster (flightOff prices the always-on
 	// black box: the same loop with the recorder disabled) and returns a
-	// timed fetch pass plus the client for discipline changes.
-	startServe := func(flightOff bool) (run func() float64, client *live.Client, cleanup func()) {
+	// timed fetch pass plus the client for discipline changes. With traced
+	// set the node runs a span recorder, so every success carries a trace
+	// id; exemplarOff then isolates the one piece that differs — the
+	// per-success exemplar stamp on the response and TTFB histograms —
+	// while the (pre-existing) tracing cost stays on both sides.
+	startServe := func(flightOff, traced, exemplarOff bool) (run func() float64, client *live.Client, cleanup func()) {
 		st := storage.NewStore(1)
 		paths := storage.UniformSet(st, 4, docBytes)
-		cl, err := live.Start(live.Options{Nodes: 1, Store: st, BaseDir: b.TempDir(),
-			Policy: "rr", FlightOff: flightOff, Seed: 9})
+		opts := live.Options{Nodes: 1, Store: st, BaseDir: b.TempDir(),
+			Policy: "rr", FlightOff: flightOff, ExemplarOff: exemplarOff, Seed: 9}
+		if traced {
+			opts.Trace = trace.NewRecorder(1 << 22)
+		}
+		cl, err := live.Start(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -441,25 +449,38 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 		return run, client, func() { client.Close(); cl.Close() }
 	}
 
-	// runServe measures keep-alive vs serial throughput and the recorder's
-	// price. One pass is only ~25 ms of wall clock, so a scheduler hiccup
-	// landing on one variant masquerades as double-digit overhead; the
-	// recorder-on and recorder-off passes therefore interleave in the same
-	// time neighbourhood and each variant keeps its fastest pass. The
-	// acceptance bar is <5% rps overhead with the recorder on.
-	runServe := func() (kaRPS, offRPS, serialRPS float64) {
-		runOn, client, cleanOn := startServe(false)
+	// runServe measures keep-alive vs serial throughput plus the price of
+	// the recorder and of the SLO exemplar stamp. One pass is only ~25 ms
+	// of wall clock, so a scheduler hiccup landing on one variant
+	// masquerades as double-digit overhead; the variants therefore
+	// interleave in the same time neighbourhood and each keeps its fastest
+	// pass. The acceptance bars are <5% rps overhead with the recorder on
+	// and <5% for exemplar stamping on traced traffic.
+	runServe := func() (kaRPS, offRPS, exRPS, noExRPS, serialRPS float64) {
+		runOn, client, cleanOn := startServe(false, false, false)
 		defer cleanOn()
-		runOff, _, cleanOff := startServe(true)
+		runOff, _, cleanOff := startServe(true, false, false)
 		defer cleanOff()
+		runEx, _, cleanEx := startServe(false, true, false)
+		defer cleanEx()
+		runNoEx, _, cleanNoEx := startServe(false, true, true)
+		defer cleanNoEx()
 		runOn() // warm the caches and the parked connections
 		runOff()
-		for t := 0; t < 3; t++ {
+		runEx()
+		runNoEx()
+		for t := 0; t < 5; t++ {
 			if r := runOn(); r > kaRPS {
 				kaRPS = r
 			}
 			if r := runOff(); r > offRPS {
 				offRPS = r
+			}
+			if r := runEx(); r > exRPS {
+				exRPS = r
+			}
+			if r := runNoEx(); r > noExRPS {
+				noExRPS = r
 			}
 		}
 		client.SetKeepAlive(false) // the old discipline: dial per request
@@ -468,7 +489,7 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 				serialRPS = r
 			}
 		}
-		return kaRPS, offRPS, serialRPS
+		return kaRPS, offRPS, exRPS, noExRPS, serialRPS
 	}
 
 	// hopMean scrapes the owner's redirect_hop histogram and returns the
@@ -561,7 +582,7 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 	runServe()
 
 	for i := 0; i < b.N; i++ {
-		kaRPS, offRPS, serialRPS := runServe()
+		kaRPS, offRPS, exRPS, noExRPS, serialRPS := runServe()
 		coldUS, warmUS := runHops()
 		b.ReportMetric(kaRPS, "keepalive-rps")
 		b.ReportMetric(serialRPS, "serial-rps")
@@ -570,6 +591,8 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 		b.ReportMetric(offRPS, "flight-off-rps")
 		b.ReportMetric(kaRPS/offRPS, "recorder-speedup")
 		b.ReportMetric(100*(offRPS-kaRPS)/offRPS, "flight-overhead-pts")
+		b.ReportMetric(exRPS, "slo-exemplar-rps")
+		b.ReportMetric(100*(noExRPS-exRPS)/noExRPS, "slo-overhead-pts")
 		b.ReportMetric(coldUS, "cold-hop-us")
 		b.ReportMetric(warmUS, "warm-hop-us")
 	}

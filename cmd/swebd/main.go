@@ -28,6 +28,7 @@ import (
 	"sweb/internal/core"
 	"sweb/internal/httpd"
 	"sweb/internal/oracle"
+	"sweb/internal/slo"
 	"sweb/internal/storage"
 	"sweb/internal/trace"
 )
@@ -67,6 +68,7 @@ func run() error {
 	flightNotable := flag.Int("flight-notable", 0, "notable (slow/errored) flight ring capacity (0: default 128)")
 	slowThreshold := flag.Duration("slow-threshold", 0, "requests slower than this are retained as notable (0: default 1s, negative: off)")
 	snapshotDir := flag.String("snapshot-dir", "", "write /sweb/snapshot diagnostic bundles under this directory (empty disables)")
+	sloFlag := flag.String("slo", "", `service-level objectives reported on /sweb/slo, e.g. "avail=99.9,p99=250ms" (empty: defaults)`)
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty disables)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) JSON of this node's spans here on shutdown (enables tracing)")
 	traceLimit := flag.Int("trace-limit", 0, "trace event capture cap (0: default 1M; only with -trace-out)")
@@ -134,6 +136,12 @@ func run() error {
 		SnapshotDir:    *snapshotDir,
 
 		DisableIntrospection: !*metricsOn,
+	}
+	if *sloFlag != "" {
+		cfg.SLO, err = slo.ParseObjectives(*sloFlag)
+		if err != nil {
+			return err
+		}
 	}
 	if *oraclePath != "" {
 		of, err := os.Open(*oraclePath)

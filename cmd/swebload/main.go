@@ -8,6 +8,10 @@
 //
 //	swebload -servers 127.0.0.1:8080,127.0.0.1:8081 \
 //	         -paths /docs/u000000.dat,/docs/u000001.dat -rps 16 -seconds 30
+//
+// With -slo "avail=99.9,p99=250ms" the run doubles as a release gate: the
+// client-observed outcomes are scored against the objectives, the budget
+// report is printed, and a breach exits nonzero (CI-friendly).
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"sweb/internal/httpmsg"
+	"sweb/internal/slo"
 	"sweb/internal/stats"
 )
 
@@ -33,7 +38,17 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	seed := flag.Int64("seed", 1, "random seed")
 	keepAlive := flag.Bool("keepalive", true, "reuse connections across requests (HTTP/1.1 persistent connections)")
+	sloSpec := flag.String("slo", "", `gate the run on client-observed objectives, e.g. "avail=99.9,p99=250ms"; breach exits nonzero`)
 	flag.Parse()
+
+	var objs []slo.Objective
+	if *sloSpec != "" {
+		var err error
+		if objs, err = slo.ParseObjectives(*sloSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "swebload:", err)
+			os.Exit(2)
+		}
+	}
 
 	hosts := splitNonEmpty(*servers)
 	paths := splitNonEmpty(*pathsFlag)
@@ -112,6 +127,34 @@ func main() {
 			stats.FormatSeconds(line.s.Quantile(0.95)),
 			stats.FormatSeconds(line.s.Quantile(0.99)),
 			stats.FormatSeconds(line.s.Max()))
+	}
+
+	if len(objs) > 0 {
+		// The client-side gate: the same budget arithmetic the server's
+		// /sweb/slo runs, but over what the client actually observed —
+		// failures are errors, and a latency objective compares each
+		// completed request's exact response time against the threshold
+		// (no histogram-bucket rounding out here).
+		rep := slo.Report{
+			AtSeconds:     time.Since(start).Seconds(),
+			WindowSeconds: float64(*seconds),
+			Scope:         "client",
+		}
+		for _, o := range objs {
+			var c slo.Counts
+			for _, out := range outcomes {
+				c.Total++
+				if out.ok && (!o.IsLatency() || out.elapsed.Seconds() <= o.Threshold) {
+					c.Good++
+				}
+			}
+			rep.Objectives = append(rep.Objectives, slo.NewStatus(o, c, rep.WindowSeconds))
+		}
+		fmt.Print(slo.Render(rep))
+		if rep.Breached() {
+			fmt.Fprintln(os.Stderr, "swebload: SLO breached")
+			os.Exit(1)
+		}
 	}
 }
 

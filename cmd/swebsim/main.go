@@ -9,6 +9,9 @@
 //	swebsim -table 2 -quick       # shortened durations and search limits
 //	swebsim -seed 7               # change the randomness seed
 //	swebsim -monitor-csv out.csv  # monitored demo burst → timeline CSV
+//
+//	swebsim -slo "avail=99.9,p99=250ms" -table ""
+//	                              # monitored demo burst → SLO budget panel
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"sweb/internal/experiments"
 	"sweb/internal/monitor"
 	"sweb/internal/simsrv"
+	"sweb/internal/slo"
 	"sweb/internal/stats"
 	"sweb/internal/storage"
 	"sweb/internal/trace"
@@ -37,6 +41,8 @@ func main() {
 	monitorCSV := flag.String("monitor-csv", "", "run a monitored Meiko burst and write its load-over-time timeline CSV here")
 	cacheBytes := flag.Int64("cache-bytes", 0, "override every node's page-cache capacity in bytes for the demo runs (0: the spec default; matches swebd -cache-bytes)")
 	cacheOff := flag.Bool("cache-off", false, "zero every node's page cache for the demo runs (matches swebd -cache-off)")
+	sloFlag := flag.String("slo", "", `run a monitored demo burst and print its SLO budget report, e.g. "avail=99.9,p99=250ms" (matches swebd -slo)`)
+	sloScale := flag.Float64("slo-scale", 0.001, "compress the SRE burn-rate alert windows by this factor for the virtual clock (with -slo)")
 	flag.Parse()
 
 	if *traceOut != "" {
@@ -56,6 +62,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote simulated monitor timeline to %s\n", *monitorCSV)
+		if *table == "" {
+			return
+		}
+	}
+
+	if *sloFlag != "" {
+		if err := runSLOReport(*sloFlag, *sloScale, *seed, *cacheBytes, *cacheOff); err != nil {
+			fmt.Fprintln(os.Stderr, "swebsim:", err)
+			os.Exit(1)
+		}
 		if *table == "" {
 			return
 		}
@@ -149,6 +165,56 @@ func exportDemoTrace(path string, seed, cacheBytes int64, cacheOff bool) error {
 	}
 	defer f.Close()
 	return trace.ExportChrome(f, col.Spans())
+}
+
+// runSLOReport drives the demo-sized Meiko burst with the burn-rate alert
+// rules attached to the monitor — windows compressed by scale for the
+// virtual clock — then prints the error-budget panel and any alerts the
+// run left firing: the simulated twin of `swebtop`'s SLO panel.
+func runSLOReport(objSpec string, scale float64, seed, cacheBytes int64, cacheOff bool) error {
+	objs, err := slo.ParseObjectives(objSpec)
+	if err != nil {
+		return err
+	}
+	const nodes = 4
+	st := storage.NewStore(nodes)
+	paths := storage.UniformSet(st, 16, 64<<10)
+	cfg := simsrv.MeikoConfig(nodes, st)
+	cfg.Seed = seed
+	cfg.CacheBytes = cacheBytes
+	cfg.CacheOff = cacheOff
+	cl, err := simsrv.New(cfg)
+	if err != nil {
+		return err
+	}
+	mon := monitor.New(monitor.Config{
+		Window:     5,
+		ExtraRules: slo.Rules(objs, slo.DefaultWindows(scale)),
+	})
+	names := make([]string, cl.Nodes())
+	for i := 0; i < cl.Nodes(); i++ {
+		i := i
+		names[i] = fmt.Sprintf("%d", i)
+		mon.AddSource(&monitor.RegistrySource{
+			Name:     names[i],
+			Registry: cl.Registry(i),
+			Up:       func() bool { return cl.NodeUp(i) },
+		})
+	}
+	cl.Every(des.Second, func() { mon.Collect(cl.Sim.Now().ToSeconds()) })
+	burst := workload.Burst{RPS: 8, DurationSeconds: 5, Jitter: true}
+	rng := rand.New(rand.NewSource(seed))
+	arrivals, err := burst.Generate(workload.UniformPicker(paths), nil, rng)
+	if err != nil {
+		return err
+	}
+	cl.RunSchedule(arrivals)
+	now := cl.Sim.Now().ToSeconds()
+	fmt.Print(slo.Render(slo.Evaluate(mon.Store(), names, objs, now, now)))
+	if alerts := mon.Alerts(); len(alerts) > 0 {
+		fmt.Printf("firing alerts: %s\n", strings.Join(monitor.SortedAlertKeys(alerts), " "))
+	}
+	return nil
 }
 
 // exportMonitorCSV runs the same demo-sized Meiko burst with a cluster

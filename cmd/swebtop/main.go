@@ -1,9 +1,10 @@
 // Command swebtop is a terminal dashboard for a running SWEB cluster.
 // It scrapes each node's /sweb/metrics endpoint on an interval, keeps a
 // sliding time-series window, and renders per-node load, request and
-// redirect rates, per-phase latency quantiles, firing alerts, and the
-// cluster-wide tail of notable flight records (slow or errored requests
-// from every node's black box). Typing "s" followed by Enter asks every
+// redirect rates, per-phase latency quantiles, firing alerts, the SLO
+// error-budget panel (see -slo), and the cluster-wide tail of notable
+// flight records (slow or errored requests from every node's black
+// box). Typing "s" followed by Enter asks every
 // node to write a diagnostic snapshot bundle (requires the nodes to run
 // with -snapshot-dir).
 //
@@ -28,6 +29,7 @@ import (
 	"sweb/internal/flight"
 	"sweb/internal/live"
 	"sweb/internal/monitor"
+	"sweb/internal/slo"
 )
 
 func main() {
@@ -37,7 +39,22 @@ func main() {
 	rounds := flag.Int("rounds", 0, "exit after this many collect rounds (0 = run until interrupted)")
 	csvOut := flag.String("csv", "", "write the load-over-time timeline CSV here on exit")
 	flightRows := flag.Int("flight", 8, "notable flight records shown under the dashboard (0 hides the panel)")
+	sloSpec := flag.String("slo", "", `objectives for the SLO budget panel, e.g. "avail=99.9,p99=250ms" (empty: defaults)`)
+	sloOff := flag.Bool("slo-off", false, "hide the SLO error-budget panel")
+	sloWindow := flag.Float64("slo-window", 0, "SLO budget accounting window in seconds (0: the whole scrape history)")
 	flag.Parse()
+
+	objs := slo.DefaultObjectives()
+	if *sloSpec != "" {
+		var err error
+		if objs, err = slo.ParseObjectives(*sloSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "swebtop:", err)
+			os.Exit(2)
+		}
+	}
+	if *sloOff {
+		objs = nil
+	}
 
 	addrs := flag.Args()
 	if len(addrs) == 0 {
@@ -45,7 +62,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	mon := monitor.New(monitor.Config{Window: *window})
+	// The SLO burn-rate pairs ride the same alert table as the built-in
+	// rules, so a budget breach shows up next to node_down.
+	mon := monitor.New(monitor.Config{Window: *window, ExtraRules: slo.Rules(objs, slo.DefaultWindows(0))})
 	for i, addr := range addrs {
 		mon.AddSource(&monitor.HTTPSource{
 			Name:    strconv.Itoa(i),
@@ -81,7 +100,7 @@ func main() {
 	defer tick.Stop()
 	mon.Collect(time.Since(epoch).Seconds())
 	if !*once {
-		render(mon, addrs, *flightRows)
+		render(mon, addrs, *flightRows, objs, *sloWindow, time.Since(epoch).Seconds())
 	}
 
 loop:
@@ -96,13 +115,14 @@ loop:
 		case <-tick.C:
 			mon.Collect(time.Since(epoch).Seconds())
 			if !*once {
-				render(mon, addrs, *flightRows)
+				render(mon, addrs, *flightRows, objs, *sloWindow, time.Since(epoch).Seconds())
 			}
 		}
 	}
 
 	if *once {
 		fmt.Print(monitor.RenderSnapshot(mon.Snapshot()))
+		fmt.Print(renderSLO(mon, len(addrs), objs, *sloWindow, time.Since(epoch).Seconds()))
 		if *flightRows > 0 {
 			fmt.Print(renderFlight(addrs, *flightRows))
 		}
@@ -116,15 +136,33 @@ loop:
 	}
 }
 
-// render clears the terminal and draws the current snapshot plus the
-// cluster-wide notable-request tail.
-func render(mon *monitor.Monitor, addrs []string, flightRows int) {
+// render clears the terminal and draws the current snapshot, the SLO
+// error-budget panel, and the cluster-wide notable-request tail.
+func render(mon *monitor.Monitor, addrs []string, flightRows int, objs []slo.Objective, sloWindow, now float64) {
 	fmt.Print("\x1b[2J\x1b[H")
 	fmt.Print(monitor.RenderSnapshot(mon.Snapshot()))
+	fmt.Print(renderSLO(mon, len(addrs), objs, sloWindow, now))
 	if flightRows > 0 {
 		fmt.Print(renderFlight(addrs, flightRows))
 	}
 	fmt.Println(`keys: "s" + Enter writes a snapshot bundle on every node`)
+}
+
+// renderSLO evaluates the configured objectives over the monitor's scrape
+// history and renders the error-budget panel. An empty objective list
+// (-slo-off) renders nothing.
+func renderSLO(mon *monitor.Monitor, n int, objs []slo.Objective, window, now float64) string {
+	if len(objs) == 0 {
+		return ""
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = strconv.Itoa(i)
+	}
+	if window <= 0 || window > now {
+		window = now
+	}
+	return slo.Render(slo.Evaluate(mon.Store(), names, objs, window, now))
 }
 
 // renderFlight scrapes every node's /sweb/flight and renders the newest

@@ -373,7 +373,22 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 			"status="+strconv.Itoa(status))
 	}
 	total := done.Sub(t0).Seconds()
-	s.nm.response.Observe(total)
+	if status == httpmsg.StatusOK || status == httpmsg.StatusNotModified {
+		// Only successful service counts toward the latency families: every
+		// phase-4 failure pairs with a sweb_drops_total cause, so the SLO
+		// engine reads successes here and errors there with no overlap — and
+		// a fast 503 can never pass for a good response time. The trace id
+		// rides along as the bucket's exemplar, linking an SLO breach to the
+		// concrete flight record that burned the budget.
+		exID := string(tctx)
+		if s.cfg.ExemplarOff {
+			exID = ""
+		}
+		s.nm.response.ObserveExemplar(total, exID, done.UnixMicro())
+		if fb := rc.meter.firstWrite; !fb.IsZero() {
+			s.nm.ttfb.ObserveExemplar(fb.Sub(t0).Seconds(), exID, done.UnixMicro())
+		}
+	}
 
 	fl := flight.Record{
 		Path:             req.Path,

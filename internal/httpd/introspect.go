@@ -8,6 +8,7 @@ import (
 	"sweb/internal/httpmsg"
 	"sweb/internal/loadd"
 	"sweb/internal/metrics"
+	"sweb/internal/slo"
 	"sweb/internal/trace"
 )
 
@@ -127,6 +128,25 @@ func (s *Server) StatusReport() StatusReport {
 // Registry exposes the node's metric registry (tests, embedding).
 func (s *Server) Registry() *metrics.Registry { return s.nm.reg }
 
+// SLOReport evaluates the node's configured objectives against its own
+// cumulative registry — the lifetime-window accounting a single node can
+// answer for, since time-series history lives in the cluster monitor
+// (which serves the rolling windows and burn-rate alerts).
+func (s *Server) SLOReport() slo.Report {
+	var buf bytes.Buffer
+	_ = s.nm.reg.WriteText(&buf)
+	samples, err := metrics.ParseText(&buf)
+	if err != nil {
+		samples = nil
+	}
+	objs := s.cfg.SLO
+	if len(objs) == 0 {
+		objs = slo.DefaultObjectives()
+	}
+	uptime := time.Since(s.epoch).Seconds()
+	return slo.EvaluateSamples(samples, objs, nodeName(s.cfg.ID), uptime, s.nowSec())
+}
+
 // TraceDump is the /sweb/trace payload: one node's raw event stream plus
 // the epoch that anchors its relative timestamps to the wall clock, which
 // is exactly what trace.Collector.Add needs to stitch streams cross-node.
@@ -199,6 +219,15 @@ func (s *Server) serveIntrospection(rc *reqConn, req *httpmsg.Request) int {
 			return code
 		}
 		b, _ := json.Marshal(map[string]string{"bundle": bundle})
+		body, ctype = append(b, '\n'), "application/json"
+	case "/sweb/slo":
+		b, err := json.MarshalIndent(s.SLOReport(), "", "  ")
+		if err != nil {
+			code := httpmsg.StatusInternalServerError
+			_ = rc.simple(code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(rc.c, req, code, -1)
+			return code
+		}
 		body, ctype = append(b, '\n'), "application/json"
 	case "/sweb/metrics":
 		var buf bytes.Buffer

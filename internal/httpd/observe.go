@@ -21,6 +21,7 @@ const (
 	mEvents         = "sweb_events_total"
 	mPhase          = "sweb_phase_seconds"
 	mResponse       = "sweb_response_seconds"
+	mTTFB           = "sweb_ttfb_seconds"
 	mDrops          = "sweb_drops_total"
 	mRedirects      = "sweb_redirect_targets_total"
 	mSchedPredicted = "sweb_sched_predicted_seconds_total"
@@ -76,6 +77,7 @@ var gossipDriftBuckets = []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
 type nodeMetrics struct {
 	reg      *metrics.Registry
 	response *metrics.Histogram
+	ttfb     *metrics.Histogram
 	compared *metrics.Counter
 	absErr   *metrics.Histogram
 	kaServed *metrics.Histogram
@@ -86,7 +88,9 @@ func newNodeMetrics(s *Server) *nodeMetrics {
 	m := &nodeMetrics{
 		reg: reg,
 		response: reg.Histogram(mResponse,
-			"end-to-end service time per handled request", nil, nil),
+			"end-to-end service time per successfully served request", nil, nil),
+		ttfb: reg.Histogram(mTTFB,
+			"request arrival to first response byte on the wire", nil, nil),
 		compared: reg.Counter(mSchedCompared,
 			"requests with both a finite prediction and a measured total", nil),
 		absErr: reg.Histogram(mSchedAbsErr,

@@ -23,6 +23,7 @@ import (
 	"sweb/internal/loadd"
 	"sweb/internal/oracle"
 	"sweb/internal/retry"
+	"sweb/internal/slo"
 	"sweb/internal/storage"
 	"sweb/internal/trace"
 )
@@ -153,6 +154,14 @@ type Config struct {
 	// /sweb/snapshot endpoint and alert-triggered captures write
 	// timestamped bundle directories under it.
 	SnapshotDir string
+	// SLO is the node's service-level objectives, reported on /sweb/slo
+	// against the registry's lifetime counters (slo.DefaultObjectives when
+	// empty). Rolling-window budgets and burn-rate alerts are the cluster
+	// monitor's job; this is the per-node accounting view.
+	SLO []slo.Objective
+	// ExemplarOff skips stamping histogram exemplars on traced successes —
+	// the ablation switch for measuring the exemplar path's overhead.
+	ExemplarOff bool
 }
 
 func (c *Config) fillDefaults() error {

@@ -22,6 +22,7 @@ import (
 	"sweb/internal/httpd"
 	"sweb/internal/httpmsg"
 	"sweb/internal/retry"
+	"sweb/internal/slo"
 	"sweb/internal/storage"
 	"sweb/internal/trace"
 )
@@ -100,6 +101,11 @@ type Options struct {
 	// cluster monitor and WriteSnapshot calls write cross-node bundle
 	// directories under it.
 	SnapshotDir string
+	// SLO sets every node's /sweb/slo objectives (empty: slo defaults);
+	// ExemplarOff skips histogram exemplar stamping on traced successes
+	// (the overhead ablation).
+	SLO         []slo.Objective
+	ExemplarOff bool
 	// Seed drives file content generation.
 	Seed int64
 }
@@ -194,6 +200,8 @@ func Start(o Options) (*Cluster, error) {
 			FlightNotable:  o.FlightNotable,
 			SlowThreshold:  o.SlowThreshold,
 			SnapshotDir:    o.SnapshotDir,
+			SLO:            o.SLO,
+			ExemplarOff:    o.ExemplarOff,
 
 			DisableIntrospection: o.DisableIntrospection,
 		}

@@ -101,13 +101,25 @@ var DefBuckets = []float64{
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// Exemplar is the most recent traced observation retained by a histogram
+// bucket: enough to pivot from an aggregated latency cell to the concrete
+// request (by trace id, resolvable against the flight recorder) that
+// landed in it.
+type Exemplar struct {
+	TraceID  string
+	Value    float64
+	TSMicros int64 // observation time, unix microseconds
+}
+
 // Histogram counts observations into fixed buckets (cumulative "le" cells
-// on exposition, like Prometheus client histograms).
+// on exposition, like Prometheus client histograms). Each bucket also
+// retains the exemplar of its most recent traced observation.
 type Histogram struct {
-	bounds []float64       // strictly increasing upper bounds, +Inf implied
-	counts []atomic.Uint64 // len(bounds)+1; the last cell is the +Inf bucket
-	sum    atomicFloat
-	count  atomic.Uint64
+	bounds    []float64       // strictly increasing upper bounds, +Inf implied
+	counts    []atomic.Uint64 // len(bounds)+1; the last cell is the +Inf bucket
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomicFloat
+	count     atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -115,8 +127,9 @@ func newHistogram(bounds []float64) *Histogram {
 		bounds = DefBuckets
 	}
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -128,43 +141,58 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 }
 
+// ObserveExemplar records one value and, when the observation carries a
+// trace id, stamps the bucket it lands in with that exemplar. The stamp is
+// one atomic pointer store, so untraced fast paths pay nothing beyond the
+// empty-string check.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, tsMicros int64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, TSMicros: tsMicros})
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return h.sum.value() }
 
-// metric is anything a family can hold and expose.
+// metric is anything a family can hold and expose. Only histogram bucket
+// lines carry a non-nil exemplar.
 type metric interface {
-	exposeInto(fam *family, sig string, add func(name, sig string, v float64))
+	exposeInto(fam *family, sig string, add func(name, sig string, v float64, ex *Exemplar))
 }
 
-func (c *Counter) exposeInto(fam *family, sig string, add func(string, string, float64)) {
-	add(fam.name, sig, c.Value())
+func (c *Counter) exposeInto(fam *family, sig string, add func(string, string, float64, *Exemplar)) {
+	add(fam.name, sig, c.Value(), nil)
 }
 
-func (g *Gauge) exposeInto(fam *family, sig string, add func(string, string, float64)) {
-	add(fam.name, sig, g.Value())
+func (g *Gauge) exposeInto(fam *family, sig string, add func(string, string, float64, *Exemplar)) {
+	add(fam.name, sig, g.Value(), nil)
 }
 
 // funcMetric evaluates a callback at exposition time (live gauges over
 // existing atomics, e.g. inflight connections).
 type funcMetric struct{ fn func() float64 }
 
-func (f *funcMetric) exposeInto(fam *family, sig string, add func(string, string, float64)) {
-	add(fam.name, sig, f.fn())
+func (f *funcMetric) exposeInto(fam *family, sig string, add func(string, string, float64, *Exemplar)) {
+	add(fam.name, sig, f.fn(), nil)
 }
 
-func (h *Histogram) exposeInto(fam *family, sig string, add func(string, string, float64)) {
+func (h *Histogram) exposeInto(fam *family, sig string, add func(string, string, float64, *Exemplar)) {
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		add(fam.name+"_bucket", withLE(sig, formatValue(b)), float64(cum))
+		add(fam.name+"_bucket", withLE(sig, formatValue(b)), float64(cum), h.exemplars[i].Load())
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	add(fam.name+"_bucket", withLE(sig, "+Inf"), float64(cum))
-	add(fam.name+"_sum", sig, h.Sum())
-	add(fam.name+"_count", sig, float64(cum))
+	add(fam.name+"_bucket", withLE(sig, "+Inf"), float64(cum), h.exemplars[len(h.bounds)].Load())
+	add(fam.name+"_sum", sig, h.Sum(), nil)
+	add(fam.name+"_count", sig, float64(cum), nil)
 }
 
 func withLE(sig, le string) string {
@@ -270,7 +298,10 @@ const ContentType = "text/plain; version=0.0.4"
 // WriteText renders the registry in the Prometheus text exposition format:
 // families sorted by name, instances sorted by label signature, every line
 // newline-terminated — byte-identical output for equal registry contents,
-// whatever the registration order.
+// whatever the registration order. Histogram bucket lines carrying an
+// exemplar get the OpenMetrics-style suffix
+// ` # {trace_id="..."} <value> <unix-micros>`, still one physical line
+// (the trace id is escaped like any label value).
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
@@ -286,7 +317,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 	bw := bufio.NewWriter(w)
 	var err error
-	emit := func(name, sig string, v float64) {
+	emit := func(name, sig string, v float64, ex *Exemplar) {
 		if err != nil {
 			return
 		}
@@ -294,7 +325,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if sig != "" {
 			line += "{" + sig + "}"
 		}
-		_, err = bw.WriteString(line + " " + formatValue(v) + "\n")
+		line += " " + formatValue(v)
+		if ex != nil {
+			line += ` # {trace_id="` + escapeLabel(ex.TraceID) + `"} ` +
+				formatValue(ex.Value) + " " + strconv.FormatInt(ex.TSMicros, 10)
+		}
+		_, err = bw.WriteString(line + "\n")
 	}
 	for _, f := range fams {
 		f.mu.Lock()

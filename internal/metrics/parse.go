@@ -11,11 +11,13 @@ import (
 )
 
 // Sample is one exposition line: a metric instance and its value at scrape
-// time. Histograms appear as their _bucket/_sum/_count series.
+// time. Histograms appear as their _bucket/_sum/_count series; a bucket
+// line may carry the bucket's retained exemplar.
 type Sample struct {
-	Name   string
-	Labels Labels
-	Value  float64
+	Name     string
+	Labels   Labels
+	Value    float64
+	Exemplar *Exemplar
 }
 
 // Key canonically identifies the sample (name plus sorted labels), so
@@ -59,9 +61,13 @@ func parseLine(line string) (Sample, error) {
 	space := strings.IndexByte(line, ' ')
 	if brace >= 0 && (space < 0 || brace < space) {
 		s.Name = line[:brace]
-		end := strings.LastIndexByte(line, '}')
-		if end < brace {
-			return s, fmt.Errorf("unterminated labels in %q", line)
+		// The label section's closing brace must be found by an
+		// escape-aware scan: a '}' may legitimately occur inside a quoted
+		// label value, and an exemplar suffix carries its own braces, so
+		// neither a first- nor a last-index search is safe.
+		end, err := labelEnd(line, brace)
+		if err != nil {
+			return s, err
 		}
 		labels, err := parseLabels(line[brace+1 : end])
 		if err != nil {
@@ -79,6 +85,17 @@ func parseLine(line string) (Sample, error) {
 	if s.Name == "" {
 		return s, fmt.Errorf("empty metric name")
 	}
+	// Split off an OpenMetrics-style exemplar suffix before reading the
+	// value. The value itself is a single space-free token, so the first
+	// " # {" in the remainder can only start an exemplar.
+	if i := strings.Index(line, " # {"); i >= 0 {
+		ex, err := parseExemplar(line[i+3:])
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
+		line = strings.TrimSpace(line[:i])
+	}
 	// A timestamp field would be a second column; this emitter never
 	// writes one, so the remainder is exactly the value.
 	v, err := parseNumber(strings.Fields(line))
@@ -87,6 +104,60 @@ func parseLine(line string) (Sample, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// labelEnd returns the index of the '}' terminating the label section that
+// opens at s[open], skipping braces inside quoted (escaped) label values.
+func labelEnd(s string, open int) (int, error) {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		c := s[i]
+		if inQuote {
+			switch c {
+			case '\\':
+				i++ // skip the escaped byte
+			case '"':
+				inQuote = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inQuote = true
+		case '}':
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unterminated labels in %q", s)
+}
+
+// parseExemplar parses `{trace_id="..."} <value> <unix-micros>` — the
+// suffix WriteText appends to bucket lines holding an exemplar.
+func parseExemplar(s string) (*Exemplar, error) {
+	if s == "" || s[0] != '{' {
+		return nil, fmt.Errorf("exemplar without labels in %q", s)
+	}
+	end, err := labelEnd(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := parseLabels(s[1:end])
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("want exemplar value and timestamp, got %v", fields)
+	}
+	v, err := parseNumber(fields[:1])
+	if err != nil {
+		return nil, err
+	}
+	ts, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+	}
+	return &Exemplar{TraceID: labels["trace_id"], Value: v, TSMicros: ts}, nil
 }
 
 func parseNumber(fields []string) (float64, error) {
@@ -160,8 +231,8 @@ func parseLabels(s string) (Labels, error) {
 
 // MergeSamples sums matching samples (equal name and labels) across node
 // scrapes: counters and histogram buckets add naturally, and summed gauges
-// read as cluster totals. The result is sorted by Key for deterministic
-// reports.
+// read as cluster totals. A merged bucket keeps the freshest exemplar among
+// its inputs. The result is sorted by Key for deterministic reports.
 func MergeSamples(scrapes ...[]Sample) []Sample {
 	acc := make(map[string]*Sample)
 	keys := make([]string, 0)
@@ -170,6 +241,9 @@ func MergeSamples(scrapes ...[]Sample) []Sample {
 			k := s.Key()
 			if a, ok := acc[k]; ok {
 				a.Value += s.Value
+				if s.Exemplar != nil && (a.Exemplar == nil || s.Exemplar.TSMicros >= a.Exemplar.TSMicros) {
+					a.Exemplar = s.Exemplar
+				}
 				continue
 			}
 			cp := s

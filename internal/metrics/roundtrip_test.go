@@ -64,7 +64,11 @@ func buildRandomRegistry(rng *rand.Rand) (*Registry, map[string]float64) {
 		cum := make([]float64, 4) // 0.1, 1, 10, +Inf
 		for j := 0; j < n; j++ {
 			v := math.Round(rng.Float64()*2000) / 100 // [0, 20], 2 decimals
-			h.Observe(v)
+			if rng.Intn(2) == 0 {
+				h.ObserveExemplar(v, fmt.Sprintf("t%d", j), int64(1000+j))
+			} else {
+				h.Observe(v)
+			}
 			sum += v
 			for bi, ub := range []float64{0.1, 1, 10, math.Inf(1)} {
 				if v <= ub {
@@ -180,6 +184,118 @@ func TestHostileLabelValuesRoundTrip(t *testing.T) {
 			if !strings.HasPrefix(line, name) {
 				t.Errorf("case %d (%q): stray physical line %q leaked into the exposition", i, v, line)
 			}
+		}
+	}
+}
+
+// TestExemplarRoundTrip pins the exemplar suffix format: every bucket's
+// retained (trace id, value, timestamp) triple must survive WriteText →
+// ParseText even with hostile trace ids, with labels that themselves need
+// escaping, and without ever breaking the one-physical-line invariant.
+func TestExemplarRoundTrip(t *testing.T) {
+	hostileIDs := []string{
+		"plain-trace-7", `quote"inside`, `back\slash`, "new\nline",
+		`}`, `{a="b"}`, " # ", `x" # {trace_id="forged"} 9 9`, "trailing\\", "",
+	}
+	for i, id := range hostileIDs {
+		name := fmt.Sprintf("exhist_%d_seconds", i)
+		reg := NewRegistry()
+		h := reg.Histogram(name, "exemplar case", Labels{"path": `with"quote`}, []float64{0.5, 5})
+		h.ObserveExemplar(0.25, id, int64(1234567+i))
+		h.ObserveExemplar(2.5, "other", 99)
+		h.Observe(100) // +Inf bucket, no exemplar
+
+		var buf strings.Builder
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatalf("case %d (%q): WriteText: %v", i, id, err)
+		}
+		text := buf.String()
+		samples, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("case %d (%q): ParseText: %v\n%s", i, id, err, text)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+			if strings.HasPrefix(line, "#") || line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, name) {
+				t.Errorf("case %d (%q): stray physical line %q in exposition", i, id, line)
+			}
+		}
+		var got *Exemplar
+		var infEx *Exemplar
+		for _, s := range samples {
+			if s.Name != name+"_bucket" {
+				if s.Exemplar != nil {
+					t.Errorf("case %d: exemplar leaked onto %s", i, s.Name)
+				}
+				continue
+			}
+			switch s.Labels["le"] {
+			case "0.5":
+				got = s.Exemplar
+			case "+Inf":
+				infEx = s.Exemplar
+			}
+		}
+		if id == "" {
+			// An untraced observation leaves no exemplar behind.
+			if got != nil {
+				t.Errorf("case %d: empty trace id produced exemplar %+v", i, got)
+			}
+			continue
+		}
+		if got == nil {
+			t.Fatalf("case %d (%q): bucket exemplar lost\n%s", i, id, text)
+		}
+		if got.TraceID != id {
+			t.Errorf("case %d: trace id %q round-tripped as %q\n%s", i, id, got.TraceID, text)
+		}
+		if got.Value != 0.25 || got.TSMicros != int64(1234567+i) {
+			t.Errorf("case %d (%q): exemplar payload %+v", i, id, got)
+		}
+		if infEx != nil {
+			t.Errorf("case %d: +Inf bucket unexpectedly carries exemplar %+v", i, infEx)
+		}
+	}
+}
+
+// TestExemplarLatestWins checks the retention rule (most recent traced
+// observation per bucket) and that MergeSamples keeps the freshest
+// exemplar across scrapes.
+func TestExemplarLatestWins(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ex_seconds", "h", nil, []float64{1})
+	h.ObserveExemplar(0.3, "old", 10)
+	h.ObserveExemplar(0.4, "new", 20)
+
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Name == "ex_seconds_bucket" && s.Labels["le"] == "1" {
+			if s.Exemplar == nil || s.Exemplar.TraceID != "new" {
+				t.Fatalf("bucket exemplar = %+v, want trace id \"new\"", s.Exemplar)
+			}
+		}
+	}
+
+	older := []Sample{{Name: "m_bucket", Labels: Labels{"le": "1"}, Value: 2,
+		Exemplar: &Exemplar{TraceID: "a", TSMicros: 5}}}
+	newer := []Sample{{Name: "m_bucket", Labels: Labels{"le": "1"}, Value: 3,
+		Exemplar: &Exemplar{TraceID: "b", TSMicros: 9}}}
+	for _, order := range [][][]Sample{{older, newer}, {newer, older}} {
+		merged := MergeSamples(order[0], order[1])
+		if len(merged) != 1 || merged[0].Value != 5 {
+			t.Fatalf("merge = %+v", merged)
+		}
+		if merged[0].Exemplar == nil || merged[0].Exemplar.TraceID != "b" {
+			t.Fatalf("merged exemplar = %+v, want freshest (\"b\")", merged[0].Exemplar)
 		}
 	}
 }

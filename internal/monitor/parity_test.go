@@ -12,6 +12,7 @@ import (
 	"sweb/internal/live"
 	"sweb/internal/monitor"
 	"sweb/internal/simsrv"
+	"sweb/internal/slo"
 	"sweb/internal/storage"
 	"sweb/internal/workload"
 )
@@ -28,7 +29,12 @@ var coreFamilies = []string{
 	"sweb_phase_seconds_bucket",
 	"sweb_phase_seconds_count",
 	"sweb_phase_seconds_sum",
+	"sweb_response_seconds_bucket",
 	"sweb_response_seconds_count",
+	"sweb_response_seconds_sum",
+	"sweb_ttfb_seconds_bucket",
+	"sweb_ttfb_seconds_count",
+	"sweb_ttfb_seconds_sum",
 	"sweb_loadd_broadcast_age_seconds",
 	"sweb_loadd_advertised_load",
 	"sweb_cache_hits_total",
@@ -184,6 +190,58 @@ func TestSimLiveMetricsParity(t *testing.T) {
 		for _, ph := range set {
 			if !known[ph] {
 				t.Errorf("unknown phase cell %q", ph)
+			}
+		}
+	}
+}
+
+// TestSimLiveSLOParity is the tentpole's parity criterion: the same
+// declarative objective evaluated against either substrate's store must
+// agree — on these deterministic healthy workloads, traffic was seen,
+// no budget was burned, and every objective is met in both worlds.
+func TestSimLiveSLOParity(t *testing.T) {
+	objs, err := slo.ParseObjectives("avail=99.9,p99=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		run  func(*testing.T) *monitor.Monitor
+	}{{"sim", runSimMonitored}, {"live", runLiveMonitored}} {
+		mon := tc.run(t)
+		var nodes []string
+		for _, s := range mon.Store().Select("sweb_response_seconds_count", nil) {
+			if n := s.Labels["node"]; n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+		sort.Strings(nodes)
+		now := 0.0
+		for _, s := range mon.Store().Select("sweb_response_seconds_count", nil) {
+			if p, ok := monitor.Latest(s.Points); ok && p.T > now {
+				now = p.T
+			}
+		}
+		r := slo.Evaluate(mon.Store(), nodes, objs, now, now)
+		if r.Breached() {
+			t.Fatalf("%s: healthy run breached SLO: %+v", tc.name, r.Objectives)
+		}
+		for _, s := range r.Objectives {
+			if s.Total == 0 {
+				t.Fatalf("%s: objective %s saw no traffic", tc.name, s.Objective.Name)
+			}
+			if s.Errors != 0 {
+				t.Fatalf("%s: objective %s charged %v errors on a healthy run", tc.name, s.Objective.Name, s.Errors)
+			}
+		}
+		// Burn-rate rules evaluate cleanly against the same store.
+		rules := slo.Rules(objs, slo.Windows{FastLong: now, FastShort: now / 2, SlowLong: now, SlowShort: now / 2})
+		view := &monitor.View{Store: mon.Store(), Nodes: nodes, From: 0, To: now}
+		for _, rule := range rules {
+			for subject, burn := range rule.Eval(view) {
+				if burn != 0 {
+					t.Errorf("%s: rule %s subject %s burns %v on a healthy run", tc.name, rule.Name, subject, burn)
+				}
 			}
 		}
 	}

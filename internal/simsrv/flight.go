@@ -66,6 +66,16 @@ func (c *Cluster) flightEmit(rs *request, node, status int, bytes int64, served 
 	r.Add(rec)
 }
 
+// traceIDOf renders rs's trace id the way flight records carry it — the
+// string a metrics exemplar must hold for the breach → flight pivot to
+// resolve. Empty when tracing is off.
+func (c *Cluster) traceIDOf(rs *request) string {
+	if !c.cfg.Trace.Enabled() || rs.tid < 0 {
+		return ""
+	}
+	return strconv.FormatInt(rs.tid, 10)
+}
+
 // flightComplete records a finished request at the node that served it.
 // A timeout is stamped status 0 — the client gave up before the response
 // was usable — which routes it to the notable ring, exactly as a live

@@ -17,6 +17,7 @@ import (
 type simMetrics struct {
 	reg      *metrics.Registry
 	response *metrics.Histogram
+	ttfb     *metrics.Histogram
 	compared *metrics.Counter
 	absErr   *metrics.Histogram
 	bytesOut int64
@@ -28,6 +29,7 @@ const (
 	smEvents        = "sweb_events_total"
 	smPhase         = "sweb_phase_seconds"
 	smResponse      = "sweb_response_seconds"
+	smTTFB          = "sweb_ttfb_seconds"
 	smDrops         = "sweb_drops_total"
 	smRedirects     = "sweb_redirect_targets_total"
 	smSchedPred     = "sweb_sched_predicted_seconds_total"
@@ -43,7 +45,9 @@ func newSimMetrics(c *Cluster, x int) *simMetrics {
 	m := &simMetrics{
 		reg: reg,
 		response: reg.Histogram(smResponse,
-			"end-to-end service time per handled request", nil, nil),
+			"end-to-end service time per successfully served request", nil, nil),
+		ttfb: reg.Histogram(smTTFB,
+			"request arrival to first response chunk, virtual time", nil, nil),
 		compared: reg.Counter(smSchedCompared,
 			"requests with both a finite prediction and a measured total", nil),
 		absErr: reg.Histogram(smSchedAbsErr,

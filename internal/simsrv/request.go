@@ -542,7 +542,15 @@ func (c *Cluster) complete(rs *request) {
 		return
 	}
 	c.trace(rs, trace.EvDelivered, rs.servedBy, "")
-	c.nm[rs.servedBy].response.Observe(resp)
+	// Same exemplar rule as the live node: the trace id of the most recent
+	// traced success stays on the bucket it landed in, timestamped in
+	// virtual micros, so a burn-rate breach resolves to a flight record.
+	nowMicros := int64(c.Sim.Now().ToSeconds() * 1e6)
+	tid := c.traceIDOf(rs)
+	c.nm[rs.servedBy].response.ObserveExemplar(resp, tid, nowMicros)
+	if rs.hasTTFB {
+		c.nm[rs.servedBy].ttfb.ObserveExemplar((rs.ttfbAt - rs.issued).ToSeconds(), tid, nowMicros)
+	}
 	c.flightComplete(rs, false)
 	c.res.RecordSuccess(resp, rs.servedBy, rs.redirects > 0, rs.ph)
 }

@@ -1,0 +1,121 @@
+package slo
+
+import (
+	"math"
+
+	"sweb/internal/monitor"
+)
+
+// Windows configures the multi-window multi-burn-rate alert pairs, after
+// the SRE workbook: a fast pair (1h confirmed by 5m) catching sharp burn
+// within minutes, and a slow pair (3d confirmed by 6h) catching the
+// sustained leak that would quietly exhaust a month's budget. Both windows
+// of a pair must exceed the pair's burn threshold to fire — the long
+// window for significance, the short one so a recovered burst stops
+// alerting promptly. Scale compresses every window uniformly for the
+// simulator's virtual clock and for tests.
+type Windows struct {
+	Scale     float64 // applied to the four windows; <=0 means 1 (wall clock)
+	FastLong  float64 // seconds, default 1h
+	FastShort float64 // seconds, default 5m
+	SlowLong  float64 // seconds, default 3d
+	SlowShort float64 // seconds, default 6h
+	FastBurn  float64 // default 14.4 (2% of a 30d budget in 1h)
+	SlowBurn  float64 // default 1 (budget-neutral pace)
+}
+
+// DefaultWindows returns the workbook windows compressed by scale.
+func DefaultWindows(scale float64) Windows {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Windows{
+		Scale:     scale,
+		FastLong:  3600 * scale,
+		FastShort: 300 * scale,
+		SlowLong:  3 * 86400 * scale,
+		SlowShort: 6 * 3600 * scale,
+		FastBurn:  14.4,
+		SlowBurn:  1,
+	}
+}
+
+func (w *Windows) fillDefaults() {
+	d := DefaultWindows(w.Scale)
+	if w.FastLong <= 0 {
+		w.FastLong = d.FastLong
+	}
+	if w.FastShort <= 0 {
+		w.FastShort = d.FastShort
+	}
+	if w.SlowLong <= 0 {
+		w.SlowLong = d.SlowLong
+	}
+	if w.SlowShort <= 0 {
+		w.SlowShort = d.SlowShort
+	}
+	if w.FastBurn <= 0 {
+		w.FastBurn = d.FastBurn
+	}
+	if w.SlowBurn <= 0 {
+		w.SlowBurn = d.SlowBurn
+	}
+}
+
+// burnOver is the budget burn rate over [from,to] for one scope: the
+// window's error ratio divided by the objective's error budget. An empty
+// window burns nothing — short or traffic-less windows never alert.
+func burnOver(st *monitor.Store, o Objective, node string, from, to float64) float64 {
+	c := FromStore(st, o, node, from, to)
+	if c.Total <= 0 {
+		return 0
+	}
+	ratio := c.ErrorRatio()
+	budget := 1 - o.Target
+	if budget <= 0 {
+		if ratio > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return ratio / budget
+}
+
+// Rules converts objectives into monitor alert rules — "slo_fast_<name>"
+// and "slo_slow_<name>" per objective — suitable for
+// monitor.Config.ExtraRules, so SLO breaches ride the same hysteresis,
+// alert-state metrics, and OnFire snapshot hook as the built-in rules.
+// Each rule's value is the smaller of its two windows' burn rates,
+// evaluated per node and cluster-wide under the subject "cluster".
+func Rules(objs []Objective, w Windows) []monitor.Rule {
+	w.fillDefaults()
+	rules := make([]monitor.Rule, 0, 2*len(objs))
+	for _, o := range objs {
+		o := o
+		mk := func(kind string, long, short, burn float64) monitor.Rule {
+			return monitor.Rule{
+				Name:  "slo_" + kind + "_" + o.Name,
+				Fire:  burn,
+				Clear: burn / 2,
+				For:   2,
+				Eval: func(v *monitor.View) map[string]float64 {
+					out := make(map[string]float64, len(v.Nodes)+1)
+					eval := func(subject, node string) {
+						bl := burnOver(v.Store, o, node, v.To-long, v.To)
+						bs := burnOver(v.Store, o, node, v.To-short, v.To)
+						out[subject] = math.Min(bl, bs)
+					}
+					eval("cluster", "")
+					for _, n := range v.Nodes {
+						eval(n, n)
+					}
+					return out
+				},
+			}
+		}
+		rules = append(rules,
+			mk("fast", w.FastLong, w.FastShort, w.FastBurn),
+			mk("slow", w.SlowLong, w.SlowShort, w.SlowBurn))
+	}
+	return rules
+}

@@ -1,0 +1,61 @@
+#!/bin/sh
+# SLO smoke test: boot one healthy swebd node with objectives configured,
+# drive it with swebload's client-side SLO gate (a breach exits nonzero
+# and fails the job), then save the node's /sweb/slo error-budget report
+# and the client's gate output as artifacts.
+#
+# Usage: scripts/slo_smoke.sh [report-dir]
+set -eu
+
+out="${1:-slo-report}"
+mkdir -p "$out"
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$work/swebd" ./cmd/swebd
+go build -o "$work/swebload" ./cmd/swebload
+
+# A single-node corpus: eight 4 KiB documents, all owned by node 0.
+mkdir -p "$work/docroot/docs"
+manifest="$work/cluster.manifest"
+echo "nodes 1" >"$manifest"
+paths=""
+i=0
+while [ "$i" -lt 8 ]; do
+	head -c 4096 /dev/urandom >"$work/docroot/docs/d$i.dat"
+	echo "/docs/d$i.dat 4096 0" >>"$manifest"
+	paths="$paths${paths:+,}/docs/d$i.dat"
+	i=$((i + 1))
+done
+
+slo="avail=99.9,p99=250ms"
+"$work/swebd" -id 0 -addr 127.0.0.1:18080 -udp 127.0.0.1:19080 \
+	-docroot "$work/docroot" -manifest "$manifest" \
+	-peers "0=127.0.0.1:18080/127.0.0.1:19080" \
+	-slo "$slo" &
+pid=$!
+
+i=0
+until curl -sf http://127.0.0.1:18080/sweb/status >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "slo_smoke: swebd never came up" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+
+# The gate: swebload scores its own observations against the objectives
+# and exits nonzero on a breach.
+"$work/swebload" -servers 127.0.0.1:18080 -paths "$paths" \
+	-rps 16 -seconds 5 -slo "$slo" | tee "$out/swebload.txt"
+
+# The server's own budget accounting over the same traffic.
+curl -sf http://127.0.0.1:18080/sweb/slo | tee "$out/slo.json"
+echo
+echo "slo_smoke: reports saved under $out"
