@@ -423,11 +423,12 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 	// id; exemplarOff then isolates the one piece that differs — the
 	// per-success exemplar stamp on the response and TTFB histograms —
 	// while the (pre-existing) tracing cost stays on both sides.
-	startServe := func(flightOff, traced, exemplarOff bool) (run func() float64, client *live.Client, cleanup func()) {
+	startServe := func(flightOff, traced, exemplarOff, heatOff bool) (run func() float64, client *live.Client, cleanup func()) {
 		st := storage.NewStore(1)
 		paths := storage.UniformSet(st, 4, docBytes)
 		opts := live.Options{Nodes: 1, Store: st, BaseDir: b.TempDir(),
-			Policy: "rr", FlightOff: flightOff, ExemplarOff: exemplarOff, Seed: 9}
+			Policy: "rr", FlightOff: flightOff, ExemplarOff: exemplarOff,
+			HeatOff: heatOff, Seed: 9}
 		if traced {
 			opts.Trace = trace.NewRecorder(1 << 22)
 		}
@@ -450,25 +451,29 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 	}
 
 	// runServe measures keep-alive vs serial throughput plus the price of
-	// the recorder and of the SLO exemplar stamp. One pass is only ~25 ms
-	// of wall clock, so a scheduler hiccup landing on one variant
-	// masquerades as double-digit overhead; the variants therefore
-	// interleave in the same time neighbourhood and each keeps its fastest
-	// pass. The acceptance bars are <5% rps overhead with the recorder on
-	// and <5% for exemplar stamping on traced traffic.
-	runServe := func() (kaRPS, offRPS, exRPS, noExRPS, serialRPS float64) {
-		runOn, client, cleanOn := startServe(false, false, false)
+	// the recorder, of the SLO exemplar stamp, and of the document-heat
+	// sketch update. One pass is only ~25 ms of wall clock, so a
+	// scheduler hiccup landing on one variant masquerades as double-digit
+	// overhead; the variants therefore interleave in the same time
+	// neighbourhood and each keeps its fastest pass. The acceptance bars
+	// are <5% rps overhead with the recorder on, <5% for exemplar
+	// stamping on traced traffic, and <5% for the heat sketch.
+	runServe := func() (kaRPS, offRPS, exRPS, noExRPS, heatOffRPS, serialRPS float64) {
+		runOn, client, cleanOn := startServe(false, false, false, false)
 		defer cleanOn()
-		runOff, _, cleanOff := startServe(true, false, false)
+		runOff, _, cleanOff := startServe(true, false, false, false)
 		defer cleanOff()
-		runEx, _, cleanEx := startServe(false, true, false)
+		runEx, _, cleanEx := startServe(false, true, false, false)
 		defer cleanEx()
-		runNoEx, _, cleanNoEx := startServe(false, true, true)
+		runNoEx, _, cleanNoEx := startServe(false, true, true, false)
 		defer cleanNoEx()
+		runNoHeat, _, cleanNoHeat := startServe(false, false, false, true)
+		defer cleanNoHeat()
 		runOn() // warm the caches and the parked connections
 		runOff()
 		runEx()
 		runNoEx()
+		runNoHeat()
 		for t := 0; t < 5; t++ {
 			if r := runOn(); r > kaRPS {
 				kaRPS = r
@@ -482,6 +487,9 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 			if r := runNoEx(); r > noExRPS {
 				noExRPS = r
 			}
+			if r := runNoHeat(); r > heatOffRPS {
+				heatOffRPS = r
+			}
 		}
 		client.SetKeepAlive(false) // the old discipline: dial per request
 		for t := 0; t < 3; t++ {
@@ -489,7 +497,7 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 				serialRPS = r
 			}
 		}
-		return kaRPS, offRPS, exRPS, noExRPS, serialRPS
+		return kaRPS, offRPS, exRPS, noExRPS, heatOffRPS, serialRPS
 	}
 
 	// hopMean scrapes the owner's redirect_hop histogram and returns the
@@ -582,7 +590,7 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 	runServe()
 
 	for i := 0; i < b.N; i++ {
-		kaRPS, offRPS, exRPS, noExRPS, serialRPS := runServe()
+		kaRPS, offRPS, exRPS, noExRPS, heatOffRPS, serialRPS := runServe()
 		coldUS, warmUS := runHops()
 		b.ReportMetric(kaRPS, "keepalive-rps")
 		b.ReportMetric(serialRPS, "serial-rps")
@@ -593,6 +601,9 @@ func BenchmarkServeKeepAlive(b *testing.B) {
 		b.ReportMetric(100*(offRPS-kaRPS)/offRPS, "flight-overhead-pts")
 		b.ReportMetric(exRPS, "slo-exemplar-rps")
 		b.ReportMetric(100*(noExRPS-exRPS)/noExRPS, "slo-overhead-pts")
+		b.ReportMetric(kaRPS, "heat-on-rps")
+		b.ReportMetric(heatOffRPS, "heat-off-rps")
+		b.ReportMetric(100*(heatOffRPS-kaRPS)/heatOffRPS, "heat-overhead-pts")
 		b.ReportMetric(coldUS, "cold-hop-us")
 		b.ReportMetric(warmUS, "warm-hop-us")
 	}

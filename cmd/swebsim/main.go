@@ -23,6 +23,7 @@ import (
 
 	"sweb/internal/des"
 	"sweb/internal/experiments"
+	"sweb/internal/heat"
 	"sweb/internal/monitor"
 	"sweb/internal/simsrv"
 	"sweb/internal/slo"
@@ -42,6 +43,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "override every node's page-cache capacity in bytes for the demo runs (0: the spec default; matches swebd -cache-bytes)")
 	cacheOff := flag.Bool("cache-off", false, "zero every node's page cache for the demo runs (matches swebd -cache-off)")
 	sloFlag := flag.String("slo", "", `run a monitored demo burst and print its SLO budget report, e.g. "avail=99.9,p99=250ms" (matches swebd -slo)`)
+	heatFlag := flag.Bool("heat", false, "run a skewed demo burst and print the document-heat panel and placement advisor report")
 	sloScale := flag.Float64("slo-scale", 0.001, "compress the SRE burn-rate alert windows by this factor for the virtual clock (with -slo)")
 	flag.Parse()
 
@@ -69,6 +71,16 @@ func main() {
 
 	if *sloFlag != "" {
 		if err := runSLOReport(*sloFlag, *sloScale, *seed, *cacheBytes, *cacheOff); err != nil {
+			fmt.Fprintln(os.Stderr, "swebsim:", err)
+			os.Exit(1)
+		}
+		if *table == "" {
+			return
+		}
+	}
+
+	if *heatFlag {
+		if err := runHeatReport(*seed, *cacheBytes, *cacheOff); err != nil {
 			fmt.Fprintln(os.Stderr, "swebsim:", err)
 			os.Exit(1)
 		}
@@ -214,6 +226,40 @@ func runSLOReport(objSpec string, scale float64, seed, cacheBytes int64, cacheOf
 	if alerts := mon.Alerts(); len(alerts) > 0 {
 		fmt.Printf("firing alerts: %s\n", strings.Join(monitor.SortedAlertKeys(alerts), " "))
 	}
+	return nil
+}
+
+// runHeatReport drives a skewed demo burst — the paper's Section 4.2
+// hotspot pathology, most requests hammering one file owned by node 0 —
+// then prints the cluster-wide document-heat panel and the placement
+// advisor's report: the simulated twin of `swebtop -heat`.
+func runHeatReport(seed, cacheBytes int64, cacheOff bool) error {
+	const nodes = 4
+	st := storage.NewStore(nodes)
+	paths := storage.UniformSet(st, 16, 64<<10)
+	hot := storage.SkewedSet(st, 256<<10)
+	cfg := simsrv.MeikoConfig(nodes, st)
+	cfg.Seed = seed
+	cfg.CacheBytes = cacheBytes
+	cfg.CacheOff = cacheOff
+	cl, err := simsrv.New(cfg)
+	if err != nil {
+		return err
+	}
+	pick, err := workload.WeightedPicker([][]string{{hot}, paths}, []float64{0.7, 0.3})
+	if err != nil {
+		return err
+	}
+	burst := workload.Burst{RPS: 8, DurationSeconds: 10, Jitter: true}
+	rng := rand.New(rand.NewSource(seed))
+	arrivals, err := burst.Generate(pick, nil, rng)
+	if err != nil {
+		return err
+	}
+	cl.RunSchedule(arrivals)
+	m := cl.MergedHeat()
+	fmt.Print(heat.Render("hottest documents, cluster-wide (simulated)", m, 8))
+	fmt.Print(heat.RenderAdvice("placement advisor (report-only)", heat.Advise(m), 8))
 	return nil
 }
 

@@ -2,7 +2,9 @@
 // It scrapes each node's /sweb/metrics endpoint on an interval, keeps a
 // sliding time-series window, and renders per-node load, request and
 // redirect rates, per-phase latency quantiles, firing alerts, the SLO
-// error-budget panel (see -slo), and the cluster-wide tail of notable
+// error-budget panel (see -slo), the document-heat panel with its
+// placement advisor (the cluster-wide merge of every node's /sweb/heat
+// sketch, see -heat), and the cluster-wide tail of notable
 // flight records (slow or errored requests from every node's black
 // box). Typing "s" followed by Enter asks every
 // node to write a diagnostic snapshot bundle (requires the nodes to run
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"sweb/internal/flight"
+	"sweb/internal/heat"
 	"sweb/internal/live"
 	"sweb/internal/monitor"
 	"sweb/internal/slo"
@@ -39,6 +42,7 @@ func main() {
 	rounds := flag.Int("rounds", 0, "exit after this many collect rounds (0 = run until interrupted)")
 	csvOut := flag.String("csv", "", "write the load-over-time timeline CSV here on exit")
 	flightRows := flag.Int("flight", 8, "notable flight records shown under the dashboard (0 hides the panel)")
+	heatRows := flag.Int("heat", 6, "hottest documents shown in the heat panel with the placement advisor (0 hides both)")
 	sloSpec := flag.String("slo", "", `objectives for the SLO budget panel, e.g. "avail=99.9,p99=250ms" (empty: defaults)`)
 	sloOff := flag.Bool("slo-off", false, "hide the SLO error-budget panel")
 	sloWindow := flag.Float64("slo-window", 0, "SLO budget accounting window in seconds (0: the whole scrape history)")
@@ -100,7 +104,7 @@ func main() {
 	defer tick.Stop()
 	mon.Collect(time.Since(epoch).Seconds())
 	if !*once {
-		render(mon, addrs, *flightRows, objs, *sloWindow, time.Since(epoch).Seconds())
+		render(mon, addrs, *flightRows, *heatRows, objs, *sloWindow, time.Since(epoch).Seconds())
 	}
 
 loop:
@@ -115,7 +119,7 @@ loop:
 		case <-tick.C:
 			mon.Collect(time.Since(epoch).Seconds())
 			if !*once {
-				render(mon, addrs, *flightRows, objs, *sloWindow, time.Since(epoch).Seconds())
+				render(mon, addrs, *flightRows, *heatRows, objs, *sloWindow, time.Since(epoch).Seconds())
 			}
 		}
 	}
@@ -123,6 +127,9 @@ loop:
 	if *once {
 		fmt.Print(monitor.RenderSnapshot(mon.Snapshot()))
 		fmt.Print(renderSLO(mon, len(addrs), objs, *sloWindow, time.Since(epoch).Seconds()))
+		if *heatRows > 0 {
+			fmt.Print(renderHeat(addrs, *heatRows))
+		}
 		if *flightRows > 0 {
 			fmt.Print(renderFlight(addrs, *flightRows))
 		}
@@ -137,11 +144,15 @@ loop:
 }
 
 // render clears the terminal and draws the current snapshot, the SLO
-// error-budget panel, and the cluster-wide notable-request tail.
-func render(mon *monitor.Monitor, addrs []string, flightRows int, objs []slo.Objective, sloWindow, now float64) {
+// error-budget panel, the document-heat panel with its placement
+// advisor, and the cluster-wide notable-request tail.
+func render(mon *monitor.Monitor, addrs []string, flightRows, heatRows int, objs []slo.Objective, sloWindow, now float64) {
 	fmt.Print("\x1b[2J\x1b[H")
 	fmt.Print(monitor.RenderSnapshot(mon.Snapshot()))
 	fmt.Print(renderSLO(mon, len(addrs), objs, sloWindow, now))
+	if heatRows > 0 {
+		fmt.Print(renderHeat(addrs, heatRows))
+	}
 	if flightRows > 0 {
 		fmt.Print(renderFlight(addrs, flightRows))
 	}
@@ -182,6 +193,26 @@ func renderFlight(addrs []string, limit int) string {
 		recs = recs[len(recs)-limit:]
 	}
 	return flight.RenderRecords("notable requests (slow/errored), cluster-wide", recs)
+}
+
+// renderHeat scrapes every node's /sweb/heat, merges the sketches into
+// the cluster-wide ranking, and renders the heat panel plus the
+// placement advisor's report. Dead nodes are skipped.
+func renderHeat(addrs []string, limit int) string {
+	var dumps []heat.Dump
+	for _, addr := range addrs {
+		d, err := live.Heat(addr)
+		if err != nil || !d.Enabled {
+			continue
+		}
+		dumps = append(dumps, *d)
+	}
+	m := heat.Merge(dumps)
+	out := heat.Render("hottest documents, cluster-wide", m, limit)
+	if advs := heat.Advise(m); len(advs) > 0 {
+		out += heat.RenderAdvice("placement advisor (report-only)", advs, limit)
+	}
+	return out
 }
 
 // triggerSnapshots asks every node to capture a diagnostic bundle. Each

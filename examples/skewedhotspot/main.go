@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"sweb"
 )
@@ -54,4 +55,50 @@ func main() {
 	fmt.Println("File locality funnels everything to node 0; round robin and SWEB")
 	fmt.Println("spread the load — after one fetch each node serves the hot file")
 	fmt.Println("from its own page cache.")
+
+	liveHeat()
+}
+
+// liveHeat replays the hotspot on a real 4-node cluster and renders the
+// document-heat panel and placement advisor — the same two tables
+// `swebtop -nodes ...` refreshes live from every node's /sweb/heat.
+func liveHeat() {
+	fmt.Println()
+	fmt.Println("Live replay: the same hotspot on a 4-node live cluster. The heat")
+	fmt.Println("sketch names the culprit; the advisor prices an extra replica:")
+	fmt.Println()
+
+	dir, err := os.MkdirTemp("", "sweb-hotspot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	st := sweb.NewStore(4)
+	bg := sweb.UniformSet(st, 8, 8<<10)
+	hot := sweb.SkewedSet(st, 64<<10)
+	cl, err := sweb.StartLive(sweb.LiveOptions{
+		Nodes: 4, Store: st, BaseDir: dir, Policy: sweb.PolicySWEB, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	client := cl.NewClient()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 400; i++ {
+		p := hot
+		if rng.Float64() > 0.8 {
+			p = bg[rng.Intn(len(bg))]
+		}
+		if _, err := client.Get(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m := cl.MergedHeat()
+	fmt.Println(sweb.RenderHeat("hottest documents, cluster-wide", m, 6))
+	fmt.Println()
+	fmt.Println(sweb.RenderHeatAdvice("placement advisor (report-only)", sweb.AdviseHeat(m), 4))
 }

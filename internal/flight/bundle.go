@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"time"
+
+	"sweb/internal/heat"
 )
 
 // NodeState is one node's contribution to a snapshot bundle. Byte fields
@@ -23,6 +25,7 @@ type NodeState struct {
 	Status  []byte
 	Trace   []byte
 	Flight  Dump
+	Heat    heat.Dump
 	Conns   any
 	Err     string
 }
@@ -139,6 +142,13 @@ func Snapshot(opts SnapshotOptions, nodes []NodeState) (string, error) {
 			man.Errors[filepath.Join(base, "flight.json")] = err.Error()
 		} else {
 			write(filepath.Join(base, "flight.json"), fl)
+		}
+		if ns.Heat.Enabled {
+			if hj, err := json.MarshalIndent(ns.Heat, "", "  "); err != nil {
+				man.Errors[filepath.Join(base, "heat.json")] = err.Error()
+			} else {
+				write(filepath.Join(base, "heat.json"), hj)
+			}
 		}
 		if ns.Conns != nil {
 			if cj, err := json.MarshalIndent(ns.Conns, "", "  "); err != nil {

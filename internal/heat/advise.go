@@ -1,0 +1,81 @@
+package heat
+
+import "sort"
+
+// Advice is the placement advisor's verdict for one hot document —
+// report-only groundwork for R-way replication, which will consume this
+// struct as its input signal.
+type Advice struct {
+	Path string `json:"path"`
+	// Share is the fraction of all cluster requests this document drew.
+	Share float64 `json:"share"`
+	// Owner is the node holding the document's only copy (-1 unknown).
+	Owner int `json:"owner"`
+	// HomeShare is the fraction of the document's requests that landed
+	// on its owner — low values mean the cluster is already serving it
+	// remotely (relaying or from peer caches).
+	HomeShare float64 `json:"home_share"`
+	// RelayShare is the fraction of the document's requests that paid
+	// an interconnect fetch from the owner.
+	RelayShare float64 `json:"relay_share"`
+	// ReplicaNode is the non-owner node that landed the most requests
+	// for this document — the advisor's replica placement (-1 when no
+	// non-owner node saw it).
+	ReplicaNode int `json:"replica_node"`
+	// PredictedReduction is the predicted share of cluster work
+	// eliminated by one replica on ReplicaNode: the relays attributed
+	// to that node (proportionally to its landings) stop crossing the
+	// interconnect, as a fraction of total cluster requests.
+	PredictedReduction float64 `json:"predicted_reduction"`
+}
+
+// Advise ranks the merged view's documents by cluster-load share and
+// computes, for each, where its requests land versus where it lives and
+// what one added replica would buy. Purely observational: nothing here
+// moves data.
+func Advise(m Merged) []Advice {
+	if m.Total == 0 {
+		return nil
+	}
+	out := make([]Advice, 0, len(m.Entries))
+	for _, e := range m.Entries {
+		if e.Count == 0 {
+			continue
+		}
+		a := Advice{
+			Path:        e.Path,
+			Share:       float64(e.Count) / float64(m.Total),
+			Owner:       e.Owner,
+			RelayShare:  float64(e.Relays) / float64(e.Count),
+			ReplicaNode: -1,
+		}
+		var home, away, awayMax uint64
+		for node, c := range e.ByNode {
+			if e.Owner >= 0 && node == e.Owner {
+				home += c
+				continue
+			}
+			away += c
+			if c > awayMax || (c == awayMax && a.ReplicaNode >= 0 && node < a.ReplicaNode) {
+				awayMax = c
+				a.ReplicaNode = node
+			}
+		}
+		a.HomeShare = float64(home) / float64(e.Count)
+		// Relays are attributed to non-owner landing nodes
+		// proportionally to their landings; a replica on the heaviest
+		// one converts its slice of relays into local serves.
+		if away > 0 {
+			saved := float64(e.Relays) * float64(awayMax) / float64(away)
+			a.PredictedReduction = saved / float64(m.Total)
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}

@@ -1,0 +1,69 @@
+package heat
+
+import "sort"
+
+// MergedEntry aggregates one path's telemetry across every node's dump,
+// keeping the per-node landing counts the placement advisor needs.
+type MergedEntry struct {
+	Path       string         `json:"path"`
+	Owner      int            `json:"owner"`
+	Count      uint64         `json:"count"`
+	ErrBound   uint64         `json:"err_bound"`
+	Bytes      int64          `json:"bytes"`
+	Relays     uint64         `json:"relays"`
+	Misses     uint64         `json:"misses"`
+	LatencySum float64        `json:"latency_sum_seconds"`
+	ByNode     map[int]uint64 `json:"by_node"`
+}
+
+// Merged is the cluster-wide view: every node's sketch folded into one
+// ranked report.
+type Merged struct {
+	Total   uint64        `json:"total"`
+	Entries []MergedEntry `json:"entries"`
+}
+
+// Merge folds per-node dumps into one cluster-wide ranking, summing
+// counts and auxiliary telemetry per path and recording on which node
+// each path's requests landed. Disabled dumps are skipped. Error bounds
+// add: the merged count overestimates by at most the sum of the
+// per-node bounds.
+func Merge(dumps []Dump) Merged {
+	byPath := make(map[string]*MergedEntry)
+	var m Merged
+	for _, d := range dumps {
+		if !d.Enabled {
+			continue
+		}
+		m.Total += d.Total
+		for _, e := range d.Entries {
+			me, ok := byPath[e.Path]
+			if !ok {
+				me = &MergedEntry{Path: e.Path, Owner: e.Owner,
+					ByNode: make(map[int]uint64)}
+				byPath[e.Path] = me
+			}
+			if e.Owner >= 0 {
+				me.Owner = e.Owner
+			}
+			me.Count += e.Count
+			me.ErrBound += e.ErrBound
+			me.Bytes += e.Bytes
+			me.Relays += e.Relays
+			me.Misses += e.Misses
+			me.LatencySum += e.LatencySum
+			me.ByNode[d.Node] += e.Count
+		}
+	}
+	m.Entries = make([]MergedEntry, 0, len(byPath))
+	for _, me := range byPath {
+		m.Entries = append(m.Entries, *me)
+	}
+	sort.Slice(m.Entries, func(i, j int) bool {
+		if m.Entries[i].Count != m.Entries[j].Count {
+			return m.Entries[i].Count > m.Entries[j].Count
+		}
+		return m.Entries[i].Path < m.Entries[j].Path
+	})
+	return m
+}

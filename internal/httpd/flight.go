@@ -101,7 +101,8 @@ func (s *Server) connCounts() (active, idle int) {
 // bundle: its metrics exposition, status report, a bounded trace tail,
 // the flight rings, and the conn table.
 func (s *Server) SnapshotState() flight.NodeState {
-	ns := flight.NodeState{Name: nodeName(s.cfg.ID), Flight: s.FlightDump(), Conns: s.ConnTable()}
+	ns := flight.NodeState{Name: nodeName(s.cfg.ID), Flight: s.FlightDump(),
+		Heat: s.HeatDump(), Conns: s.ConnTable()}
 	var buf bytes.Buffer
 	if err := s.nm.reg.WriteText(&buf); err == nil {
 		ns.Metrics = append([]byte(nil), buf.Bytes()...)

@@ -17,6 +17,7 @@ import (
 	"sweb/internal/cache"
 	"sweb/internal/core"
 	"sweb/internal/flight"
+	"sweb/internal/heat"
 	"sweb/internal/httpmsg"
 	"sweb/internal/retry"
 	"sweb/internal/storage"
@@ -388,6 +389,21 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 		if fb := rc.meter.firstWrite; !fb.IsZero() {
 			s.nm.ttfb.ObserveExemplar(fb.Sub(t0).Seconds(), exID, done.UnixMicro())
 		}
+		// Document-heat telemetry counts fulfilled serves only — the same
+		// event the simulator's complete() observes, so both substrates
+		// fill identical sketches for the same workload.
+		owner := -1
+		if !isCGI {
+			owner = file.Owner
+		}
+		s.heatObserve(heat.Observation{
+			Path:    req.Path,
+			Owner:   owner,
+			Bytes:   rc.meter.written,
+			Relay:   !isCGI && !cacheHit && file.Owner != s.cfg.ID,
+			Miss:    !isCGI && s.cache != nil && !cacheHit,
+			Seconds: total,
+		})
 	}
 
 	fl := flight.Record{

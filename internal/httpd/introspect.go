@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"sweb/internal/heat"
 	"sweb/internal/httpmsg"
 	"sweb/internal/loadd"
 	"sweb/internal/metrics"
@@ -40,8 +41,11 @@ type TraceStatus struct {
 }
 
 // CacheStatus summarizes the node's hot-file cache for /sweb/status:
-// residency, the counters behind the sweb_cache_* families, and the
-// hottest resident paths.
+// residency and the counters behind the sweb_cache_* families. The Hot
+// ranking is unified on the document-heat sketch when heat telemetry is
+// on — so relay- and miss-heavy documents appear, not just cache
+// residents — with the cache's LRU view as the heat-off fallback; the
+// cache itself stays a feeder, not a second ranking.
 type CacheStatus struct {
 	Enabled            bool     `json:"enabled"`
 	CapacityBytes      int64    `json:"capacity_bytes"`
@@ -66,6 +70,7 @@ type StatusReport struct {
 	UptimeSeconds float64             `json:"uptime_seconds"`
 	Stats         Stats               `json:"stats"`
 	Cache         CacheStatus         `json:"cache"`
+	Heat          heat.Dump           `json:"heat"`
 	Trace         TraceStatus         `json:"trace"`
 	Peers         []loadd.PeerHealth  `json:"peers"`
 	Gossip        []loadd.PeerHistory `json:"gossip,omitempty"`
@@ -90,7 +95,7 @@ func (s *Server) cacheStatus() CacheStatus {
 		Evictions:          st.Evictions,
 		SingleflightShared: st.SingleflightShared,
 		HitRate:            st.HitRate(),
-		Hot:                c.Hot(8),
+		Hot:                s.hotPaths(8),
 	}
 }
 
@@ -104,6 +109,7 @@ func (s *Server) StatusReport() StatusReport {
 		UptimeSeconds: time.Since(s.epoch).Seconds(),
 		Stats:         s.Stats(),
 		Cache:         s.cacheStatus(),
+		Heat:          s.HeatDump(),
 		Trace: TraceStatus{
 			Enabled:   s.cfg.Trace.Enabled(),
 			Events:    s.cfg.Trace.Len(),
@@ -196,6 +202,15 @@ func (s *Server) serveIntrospection(rc *reqConn, req *httpmsg.Request) int {
 		body, ctype = append(b, '\n'), "application/json"
 	case "/sweb/flight":
 		b, err := json.Marshal(s.FlightDump())
+		if err != nil {
+			code := httpmsg.StatusInternalServerError
+			_ = rc.simple(code, nil, httpmsg.ErrorBody(code, err.Error()))
+			s.logAccess(rc.c, req, code, -1)
+			return code
+		}
+		body, ctype = append(b, '\n'), "application/json"
+	case "/sweb/heat":
+		b, err := json.Marshal(s.HeatDump())
 		if err != nil {
 			code := httpmsg.StatusInternalServerError
 			_ = rc.simple(code, nil, httpmsg.ErrorBody(code, err.Error()))

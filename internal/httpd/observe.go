@@ -56,6 +56,13 @@ const (
 	mKeepAlivePer  = "sweb_keepalive_requests_per_conn"
 	mFlightRecords = "sweb_flight_records_total"
 	mFlightNotable = "sweb_flight_notable_total"
+	// Document-heat telemetry: the sketch's own accounting plus the
+	// per-path request/relay counters the hot_doc monitor rule windows.
+	// The simulator publishes the same families from its sketches.
+	mHeatObservations = "sweb_heat_observations_total"
+	mHeatTracked      = "sweb_heat_tracked_paths"
+	mHeatRequests     = "sweb_heat_requests_total"
+	mHeatRelays       = "sweb_heat_relays_total"
 )
 
 // keepAliveBuckets cover one-shot connections through a fully amortized
@@ -156,6 +163,12 @@ func newNodeMetrics(s *Server) *nodeMetrics {
 			func() float64 { return float64(c.Stats().UsedBytes) })
 		reg.GaugeFunc(mCacheCapacity, "hot-file cache capacity", nil,
 			func() float64 { return float64(c.Capacity()) })
+	}
+	if h := s.heat; h != nil {
+		reg.CounterFunc(mHeatObservations, "served requests folded into the document-heat sketch", nil,
+			func() float64 { return float64(h.Total()) })
+		reg.GaugeFunc(mHeatTracked, "paths holding a document-heat sketch slot now", nil,
+			func() float64 { return float64(h.Tracked()) })
 	}
 	if rec := s.cfg.Trace; rec.Enabled() {
 		reg.CounterFunc(mTraceDropped, "trace events discarded at the capture limit", nil,

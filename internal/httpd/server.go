@@ -20,6 +20,7 @@ import (
 	"sweb/internal/cache"
 	"sweb/internal/core"
 	"sweb/internal/flight"
+	"sweb/internal/heat"
 	"sweb/internal/loadd"
 	"sweb/internal/oracle"
 	"sweb/internal/retry"
@@ -150,6 +151,12 @@ type Config struct {
 	// ring (default 1s; negative disables slow routing, errors are still
 	// retained).
 	SlowThreshold time.Duration
+	// HeatK sizes the document-heat sketch: the number of hottest paths
+	// tracked per node (default heat.DefaultK).
+	HeatK int
+	// HeatOff disables per-document heat telemetry entirely — the
+	// ablation switch for measuring the sketch update's overhead.
+	HeatOff bool
 	// SnapshotDir, when set, enables diagnostic snapshot bundles: the
 	// /sweb/snapshot endpoint and alert-triggered captures write
 	// timestamped bundle directories under it.
@@ -301,6 +308,10 @@ type Server struct {
 	flight     *flight.Recorder
 	idleReaped atomic.Int64
 
+	// heat is the per-document heavy-hitter sketch; nil when
+	// Config.HeatOff.
+	heat *heat.Sketch
+
 	// ups pools idle internal-fetch connections per peer.
 	ups                           *upstreamPool
 	upstreamDials, upstreamReused atomic.Int64
@@ -384,6 +395,10 @@ func New(cfg Config) (*Server, error) {
 			fcfg.SlowSeconds = cfg.SlowThreshold.Seconds()
 		}
 		s.flight = flight.New(fcfg)
+	}
+	if !cfg.HeatOff {
+		// Before newNodeMetrics: the sweb_heat_* closures read it.
+		s.heat = heat.New(heat.Config{K: cfg.HeatK})
 	}
 	s.nm = newNodeMetrics(s)
 	return s, nil

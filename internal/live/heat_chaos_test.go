@@ -1,0 +1,151 @@
+package live
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sweb/internal/heat"
+	"sweb/internal/monitor"
+	"sweb/internal/storage"
+)
+
+// TestHeatHotDocChaos is the document-heat acceptance scenario: a
+// Zipf-skewed burst hammers one injected hotspot, the placement advisor
+// ranks it #1, the hot_doc rule fires and writes a diagnostic bundle
+// whose per-node state now includes heat.json, and the alert clears
+// again once the workload flattens out.
+func TestHeatHotDocChaos(t *testing.T) {
+	const (
+		nodes       = 3
+		loaddPeriod = 50 * time.Millisecond
+		collect     = 60 * time.Millisecond
+	)
+	snapDir := t.TempDir()
+	st := storage.NewStore(nodes)
+	bg := storage.UniformSet(st, 6, 2048)
+	hot := storage.SkewedSet(st, 4096)
+	cl, err := Start(Options{
+		Nodes: nodes, Store: st, BaseDir: t.TempDir(), Policy: "sweb",
+		LoaddPeriod: loaddPeriod,
+		SnapshotDir: snapDir,
+		Seed:        37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitKnown(t, []int{0, 1, 2}, cl, nodes, 10*time.Second)
+
+	// The other rules are parked far out of reach so the one bundle this
+	// run writes is attributable to hot_doc alone.
+	mon := cl.StartMonitor(monitor.Config{
+		Window: 2,
+		Rules: monitor.RuleConfig{
+			RedirectRatio:   2,
+			ImbalanceCoV:    100,
+			CacheMinLookups: 1e9,
+			ForSamples:      2,
+		},
+	}, collect)
+
+	// Zipf-skewed traffic: ~80% of requests hit the injected hotspot
+	// until hotOn is flipped off, then the background set takes over.
+	var hotOn atomic.Bool
+	hotOn.Store(true)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		client := cl.NewClient()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := bg[rng.Intn(len(bg))]
+			if hotOn.Load() && rng.Float64() < 0.8 {
+				p = hot
+			}
+			client.Get(p)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	waitFor(t, "hot_doc to fire", 20*time.Second, func() bool {
+		return mon.AlertFiring("hot_doc", hot)
+	})
+
+	// The advisor's #1 recommendation is the injected hotspot — via the
+	// in-process merge and via scraping every node's /sweb/heat.
+	advs := heat.Advise(cl.MergedHeat())
+	if len(advs) == 0 || advs[0].Path != hot {
+		t.Fatalf("advisor top pick = %+v, want %s", advs, hot)
+	}
+	if advs[0].Owner != 0 {
+		t.Fatalf("hotspot owner = %d, want 0", advs[0].Owner)
+	}
+	var dumps []heat.Dump
+	for _, srv := range cl.Servers {
+		d, err := Heat(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Enabled {
+			t.Fatalf("node %d heat disabled", d.Node)
+		}
+		dumps = append(dumps, *d)
+	}
+	scraped := heat.Advise(heat.Merge(dumps))
+	if len(scraped) == 0 || scraped[0].Path != hot {
+		t.Fatalf("scraped advisor top pick = %+v, want %s", scraped, hot)
+	}
+
+	// The hotspot alert wrote a bundle, and each node's contribution now
+	// carries its heat sketch.
+	waitFor(t, "alert-triggered bundle", 10*time.Second, func() bool {
+		return len(cl.Bundles()) >= 1
+	})
+	bundle := cl.Bundles()[0]
+	if !strings.Contains(filepath.Base(bundle), "alert-hot_doc") {
+		t.Fatalf("bundle %s not named after hot_doc", bundle)
+	}
+	sawHot := false
+	for i := 0; i < nodes; i++ {
+		hb, err := os.ReadFile(filepath.Join(bundle, "node-node"+strconv.Itoa(i), "heat.json"))
+		if err != nil {
+			t.Fatalf("node %d heat.json missing from bundle: %v", i, err)
+		}
+		var d heat.Dump
+		if err := json.Unmarshal(hb, &d); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Enabled {
+			t.Fatalf("node %d bundled heat dump disabled", i)
+		}
+		for _, e := range d.Entries {
+			if e.Path == hot {
+				sawHot = true
+			}
+		}
+	}
+	if !sawHot {
+		t.Fatalf("no bundled sketch tracks the hotspot %s", hot)
+	}
+
+	// Flatten the workload: the hotspot's windowed share decays and the
+	// alert must clear through the standard hysteresis.
+	hotOn.Store(false)
+	waitFor(t, "hot_doc to clear", 30*time.Second, func() bool {
+		return !mon.AlertFiring("hot_doc", hot)
+	})
+}

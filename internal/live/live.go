@@ -97,6 +97,10 @@ type Options struct {
 	FlightRing    int
 	FlightNotable int
 	SlowThreshold time.Duration
+	// HeatOff disables document-heat telemetry on every node (the
+	// overhead ablation); HeatK sizes the sketches (zero: heat default).
+	HeatOff bool
+	HeatK   int
 	// SnapshotDir, when set, enables diagnostic bundles: alerts from the
 	// cluster monitor and WriteSnapshot calls write cross-node bundle
 	// directories under it.
@@ -199,6 +203,8 @@ func Start(o Options) (*Cluster, error) {
 			FlightRing:     o.FlightRing,
 			FlightNotable:  o.FlightNotable,
 			SlowThreshold:  o.SlowThreshold,
+			HeatOff:        o.HeatOff,
+			HeatK:          o.HeatK,
 			SnapshotDir:    o.SnapshotDir,
 			SLO:            o.SLO,
 			ExemplarOff:    o.ExemplarOff,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sweb/internal/flight"
+	"sweb/internal/heat"
 	"sweb/internal/httpd"
 	"sweb/internal/httpmsg"
 	"sweb/internal/metrics"
@@ -48,6 +49,36 @@ func Flight(addr string) (*flight.Dump, error) {
 	var dump flight.Dump
 	if err := json.Unmarshal(body, &dump); err != nil {
 		return nil, fmt.Errorf("live: %s/sweb/flight: %v", addr, err)
+	}
+	return &dump, nil
+}
+
+// MergedHeat folds every live node's document-heat sketch into the
+// cluster-wide ranking — the in-process analogue of scraping and merging
+// /sweb/heat from each node. Dead nodes are skipped.
+func (c *Cluster) MergedHeat() heat.Merged {
+	var dumps []heat.Dump
+	for _, srv := range c.Servers {
+		if srv == nil || srv.Closed() {
+			continue
+		}
+		dumps = append(dumps, srv.HeatDump())
+	}
+	return heat.Merge(dumps)
+}
+
+// Heat fetches and decodes one node's /sweb/heat document-heat dump.
+func Heat(addr string) (*heat.Dump, error) {
+	code, _, body, err := fetchOnce(addr, "/sweb/heat", scrapeTimeout, 16<<20)
+	if err != nil {
+		return nil, err
+	}
+	if code != httpmsg.StatusOK {
+		return nil, fmt.Errorf("live: %s/sweb/heat returned %d", addr, code)
+	}
+	var dump heat.Dump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		return nil, fmt.Errorf("live: %s/sweb/heat: %v", addr, err)
 	}
 	return &dump, nil
 }

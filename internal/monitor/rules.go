@@ -50,6 +50,16 @@ type RuleConfig struct {
 	// in the window (default 20); a cold or idle cache is not a failing
 	// one.
 	CacheMinLookups float64
+	// HotDocShare fires hot_doc when one document draws more than this
+	// fraction of the cluster's served requests over the window (default
+	// 0.5): the paper's skewed-workload pathology, where a single hot
+	// file collapses the "parallel" server onto one node, caught while
+	// it happens. Keyed by path, read from the sweb_heat_* families.
+	HotDocShare float64
+	// HotDocMinRate suppresses hot_doc below this cluster-wide served
+	// request rate (default 1 rps); one request in an idle window is
+	// trivially 100% of the traffic.
+	HotDocMinRate float64
 	// ForSamples is how many consecutive breached (or cleared) collection
 	// rounds a rule needs before changing state — the hysteresis that
 	// stops threshold flapping (default 2).
@@ -90,6 +100,12 @@ func (c *RuleConfig) fillDefaults() {
 	}
 	if c.CacheMinLookups == 0 {
 		c.CacheMinLookups = 20
+	}
+	if c.HotDocShare == 0 {
+		c.HotDocShare = 0.5
+	}
+	if c.HotDocMinRate == 0 {
+		c.HotDocMinRate = 1
 	}
 	if c.ForSamples == 0 {
 		c.ForSamples = 2
@@ -247,6 +263,35 @@ func DefaultRules(cfg RuleConfig) []Rule {
 					continue
 				}
 				out[n] = misses / (hits + misses)
+			}
+			return out
+		}),
+		// hot_doc is keyed by document path: the share of the cluster's
+		// served requests one document drew over the window, from the
+		// per-path sweb_heat_requests_total counters against the
+		// sweb_heat_observations_total denominator. Both substrates
+		// publish the same families, so one rule reads either.
+		hy("hot_doc", cfg.HotDocShare, func(v *View) map[string]float64 {
+			var total float64
+			byPath := make(map[string]float64)
+			for _, n := range v.Nodes {
+				if !v.up(n) {
+					continue
+				}
+				total += Delta(v.Store.Points("sweb_heat_observations_total",
+					metrics.Labels{"node": n}), v.From, v.To)
+				for _, s := range v.Store.Select("sweb_heat_requests_total", metrics.Labels{"node": n}) {
+					if path := s.Labels["path"]; path != "" {
+						byPath[path] += Delta(s.Points, v.From, v.To)
+					}
+				}
+			}
+			if total <= 0 || total/(v.To-v.From) < cfg.HotDocMinRate {
+				return map[string]float64{"": 0}
+			}
+			out := make(map[string]float64, len(byPath))
+			for path, count := range byPath {
+				out[path] = count / total
 			}
 			return out
 		}),

@@ -8,6 +8,7 @@ import (
 	"sweb/internal/des"
 	"sweb/internal/dnsrr"
 	"sweb/internal/flight"
+	"sweb/internal/heat"
 	"sweb/internal/loadd"
 	"sweb/internal/model"
 	"sweb/internal/netsim"
@@ -32,6 +33,7 @@ type Cluster struct {
 	up       []bool // node in the resource pool
 	nm       []*simMetrics
 	fl       []*flight.Recorder // per-node black boxes, nil when FlightOff
+	ht       []*heat.Sketch     // per-node document-heat sketches, nil when HeatOff
 	reqSeq   int64              // sim analogue of the live connection id
 
 	res            *stats.RunResult
@@ -105,6 +107,12 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		for i := 0; i < n; i++ {
 			c.fl = append(c.fl, flight.New(fcfg))
+		}
+	}
+	// Heat sketches precede the registries for the same reason.
+	if !cfg.HeatOff {
+		for i := 0; i < n; i++ {
+			c.ht = append(c.ht, heat.New(heat.Config{K: cfg.HeatK}))
 		}
 	}
 	// Per-node registries mirror the live /sweb/metrics families; they need

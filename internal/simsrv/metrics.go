@@ -68,6 +68,11 @@ func newSimMetrics(c *Cluster, x int) *simMetrics {
 		func() float64 { return float64(c.flightOf(x).Total()) })
 	reg.CounterFunc("sweb_flight_notable_total", "flight records retained as notable (errors and slow requests)", nil,
 		func() float64 { return float64(c.flightOf(x).NotableTotal()) })
+	// Document-heat accounting, same family names as the live node.
+	reg.CounterFunc("sweb_heat_observations_total", "served requests folded into the document-heat sketch", nil,
+		func() float64 { return float64(c.heatOf(x).Total()) })
+	reg.GaugeFunc("sweb_heat_tracked_paths", "paths holding a document-heat sketch slot now", nil,
+		func() float64 { return float64(c.heatOf(x).Tracked()) })
 	// Page-cache families, mirroring the live sweb_cache_* exposition.
 	// The DES runs one request at a time, so misses never coalesce and
 	// singleflight_shared stays a constant 0 — published anyway to keep

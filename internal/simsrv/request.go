@@ -552,5 +552,10 @@ func (c *Cluster) complete(rs *request) {
 		c.nm[rs.servedBy].ttfb.ObserveExemplar((rs.ttfbAt - rs.issued).ToSeconds(), tid, nowMicros)
 	}
 	c.flightComplete(rs, false)
+	// Heat counts fulfilled document serves only — the same event the
+	// live handler observes — so both substrates fill identical sketches.
+	if rs.found {
+		c.heatObserve(rs, resp)
+	}
 	c.res.RecordSuccess(resp, rs.servedBy, rs.redirects > 0, rs.ph)
 }

@@ -32,6 +32,7 @@ import (
 	"sweb/internal/analytic"
 	"sweb/internal/core"
 	"sweb/internal/experiments"
+	"sweb/internal/heat"
 	"sweb/internal/live"
 	"sweb/internal/simsrv"
 	"sweb/internal/stats"
@@ -169,6 +170,27 @@ type LiveResult = live.Result
 
 // StartLive materializes docroots and starts n real httpd nodes.
 func StartLive(o LiveOptions) (*LiveCluster, error) { return live.Start(o) }
+
+// --- Document heat -----------------------------------------------------------
+
+// HeatDump is one node's document-heat sketch contents (see /sweb/heat).
+type HeatDump = heat.Dump
+
+// MergedHeat is the cluster-wide per-document view summed across nodes.
+type MergedHeat = heat.Merged
+
+// PlacementAdvice is one report-only replication recommendation.
+type PlacementAdvice = heat.Advice
+
+var (
+	// MergeHeat sums per-node heat dumps into the cluster view.
+	MergeHeat = heat.Merge
+	// AdviseHeat ranks hot documents and prices an extra replica.
+	AdviseHeat = heat.Advise
+	// RenderHeat / RenderHeatAdvice are swebtop's heat panels.
+	RenderHeat       = heat.Render
+	RenderHeatAdvice = heat.RenderAdvice
+)
 
 // --- Analysis & experiments -------------------------------------------------
 
