@@ -26,8 +26,11 @@ import (
 
 	"sweb/internal/accesslog"
 	"sweb/internal/core"
+	"sweb/internal/heat"
 	"sweb/internal/httpd"
+	"sweb/internal/live"
 	"sweb/internal/oracle"
+	"sweb/internal/rebalance"
 	"sweb/internal/slo"
 	"sweb/internal/storage"
 	"sweb/internal/trace"
@@ -74,6 +77,8 @@ func run() error {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty disables)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) JSON of this node's spans here on shutdown (enables tracing)")
 	traceLimit := flag.Int("trace-limit", 0, "trace event capture cap (0: default 1M; only with -trace-out)")
+	replicas := flag.Int("replicas", 1, "replicate every static document R ways (deterministic placement; every node must pass the same value and hold the documents it replicates)")
+	rebalPeriod := flag.Duration("rebalance", 0, "heat-driven replica rebalancing period; the lowest-id node in -peers runs the controller (0 disables)")
 	grace := flag.Duration("grace", 10*time.Second, "in-flight drain budget on SIGINT/SIGTERM before hard close")
 	metricsOut := flag.String("metrics-out", "", "write the final /sweb/metrics snapshot to this file on shutdown")
 	flag.Parse()
@@ -89,6 +94,14 @@ func run() error {
 	mf.Close()
 	if err != nil {
 		return err
+	}
+	if *replicas > 1 {
+		// Every node applies the same deterministic placement, so the
+		// cluster agrees on the replica sets without coordination. The
+		// bytes are the operator's job: a node that replicates a document
+		// must hold it in its docroot (rsync from the owner, or run
+		// -rebalance and let the controller materialize copies on demand).
+		storage.Replicate(store, *replicas)
 	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -178,6 +191,14 @@ func run() error {
 	}
 	srv.SetPeers(peers)
 	srv.Start()
+	if *replicas > 1 {
+		warnMissingReplicas(store, *id, *docroot)
+	}
+	rebalStop := make(chan struct{})
+	if *rebalPeriod > 0 && isLeader(*id, peers) {
+		fmt.Printf("swebd: node %d is the rebalance leader (period %s)\n", *id, *rebalPeriod)
+		go runRebalancer(store, peers, *rebalPeriod, rebalStop)
+	}
 	if *pprofAddr != "" {
 		// The SWEB listener is a from-scratch HTTP/1.0 server; pprof needs
 		// the stdlib mux, so it gets its own side port. Opt-in only: the
@@ -196,6 +217,7 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("swebd: shutting down, draining in-flight requests (grace %s; signal again to force)\n", *grace)
+	close(rebalStop)
 	// A second signal during the drain skips the grace period: Close tears
 	// the node down immediately, cutting in-flight connections.
 	done := make(chan bool, 1)
@@ -260,6 +282,99 @@ func writeChromeTrace(path string, srv *httpd.Server, rec *trace.Recorder) error
 	}
 	defer f.Close()
 	return trace.ExportChrome(f, col.Spans())
+}
+
+// warnMissingReplicas flags replicated documents this node is expected to
+// serve but does not hold on disk — a routing map that promises bytes the
+// docroot lacks turns into 404s under load, so say so at startup.
+func warnMissingReplicas(store *storage.Store, id int, docroot string) {
+	missing := 0
+	for _, p := range store.ReplicatedOn(id) {
+		f, _ := store.Lookup(p)
+		if f.CGI || f.Owner == id {
+			continue
+		}
+		full := docroot + "/" + strings.TrimPrefix(p, "/")
+		if _, err := os.Stat(full); err != nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr,
+			"swebd: warning: %d replicated document(s) missing from %s; copy them from their owners or run -rebalance\n",
+			missing, docroot)
+	}
+}
+
+// isLeader reports whether id is the lowest node id in the peer list —
+// the node that runs the rebalance controller when -rebalance is set on
+// every member uniformly.
+func isLeader(id int, peers []httpd.Peer) bool {
+	for _, p := range peers {
+		if p.ID < id {
+			return false
+		}
+	}
+	return true
+}
+
+// runRebalancer is the leader's control loop: each period it scrapes
+// every peer's /sweb/heat, merges the sketches into the cluster view,
+// asks the controller for actions, and broadcasts each action to every
+// reachable node via /sweb/replicate — the addressed node moves the
+// bytes, the rest update their routing maps. For adds the addressed node
+// goes first (materialize-then-announce); for drops it goes last, so
+// peers stop routing at the copy before it disappears.
+func runRebalancer(store *storage.Store, peers []httpd.Peer, period time.Duration, stop chan struct{}) {
+	ctrl := rebalance.New(rebalance.Defaults())
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		var dumps []heat.Dump
+		up := make(map[int]bool)
+		for _, p := range peers {
+			d, err := live.Heat(p.HTTPAddr)
+			if err != nil {
+				continue
+			}
+			up[p.ID] = true
+			dumps = append(dumps, *d)
+		}
+		acts := ctrl.Tick(heat.Merge(dumps), store, func(n int) bool { return up[n] })
+		for _, act := range acts {
+			ordered := make([]httpd.Peer, 0, len(peers))
+			var addressed []httpd.Peer
+			for _, p := range peers {
+				if !up[p.ID] {
+					continue
+				}
+				if p.ID == act.Node {
+					addressed = append(addressed, p)
+					continue
+				}
+				ordered = append(ordered, p)
+			}
+			if act.Kind == "add" {
+				ordered = append(addressed, ordered...)
+			} else {
+				ordered = append(ordered, addressed...)
+			}
+			for _, p := range ordered {
+				if _, err := live.ReplicateCmd(p.HTTPAddr, act.Path, act.Node, act.Kind); err != nil {
+					fmt.Fprintf(os.Stderr, "swebd: rebalance %s %s@%d via node %d: %v\n",
+						act.Kind, act.Path, act.Node, p.ID, err)
+					if p.ID == act.Node && act.Kind == "add" {
+						break // the copy never landed; don't announce it
+					}
+				}
+			}
+		}
+	}
 }
 
 // parsePeers parses "0=host:port/host:port,1=...".

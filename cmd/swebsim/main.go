@@ -45,7 +45,9 @@ func main() {
 	sloFlag := flag.String("slo", "", `run a monitored demo burst and print its SLO budget report, e.g. "avail=99.9,p99=250ms" (matches swebd -slo)`)
 	heatFlag := flag.Bool("heat", false, "run a skewed demo burst and print the document-heat panel and placement advisor report")
 	sloScale := flag.Float64("slo-scale", 0.001, "compress the SRE burn-rate alert windows by this factor for the virtual clock (with -slo)")
+	replicasFlag := flag.Int("replicas", 1, "replicate every demo-run document R ways across the simulated nodes (matches swebd -replicas)")
 	flag.Parse()
+	demoReplicas = *replicasFlag
 
 	if *traceOut != "" {
 		if err := exportDemoTrace(*traceOut, *seed, *cacheBytes, *cacheOff); err != nil {
@@ -145,6 +147,18 @@ func main() {
 	}
 }
 
+// demoReplicas is the -replicas setting for the demo runs; applyReplicas
+// folds it into each demo's document set.
+var demoReplicas = 1
+
+// applyReplicas replicates the demo documents R ways when -replicas asks
+// for it, mirroring swebd's deterministic startup placement.
+func applyReplicas(st *storage.Store) {
+	if demoReplicas > 1 {
+		storage.Replicate(st, demoReplicas)
+	}
+}
+
 // exportDemoTrace runs a short traced Meiko burst — small enough to open
 // comfortably in the Perfetto UI, busy enough to show 302 hops as flow
 // arrows between node tracks — and writes the Chrome trace-event JSON.
@@ -152,6 +166,7 @@ func exportDemoTrace(path string, seed, cacheBytes int64, cacheOff bool) error {
 	const nodes = 4
 	st := storage.NewStore(nodes)
 	paths := storage.UniformSet(st, 16, 64<<10)
+	applyReplicas(st)
 	rec := trace.NewRecorder(0)
 	cfg := simsrv.MeikoConfig(nodes, st)
 	cfg.Seed = seed
@@ -191,6 +206,7 @@ func runSLOReport(objSpec string, scale float64, seed, cacheBytes int64, cacheOf
 	const nodes = 4
 	st := storage.NewStore(nodes)
 	paths := storage.UniformSet(st, 16, 64<<10)
+	applyReplicas(st)
 	cfg := simsrv.MeikoConfig(nodes, st)
 	cfg.Seed = seed
 	cfg.CacheBytes = cacheBytes
@@ -238,6 +254,7 @@ func runHeatReport(seed, cacheBytes int64, cacheOff bool) error {
 	st := storage.NewStore(nodes)
 	paths := storage.UniformSet(st, 16, 64<<10)
 	hot := storage.SkewedSet(st, 256<<10)
+	applyReplicas(st)
 	cfg := simsrv.MeikoConfig(nodes, st)
 	cfg.Seed = seed
 	cfg.CacheBytes = cacheBytes
@@ -270,6 +287,7 @@ func exportMonitorCSV(path string, seed, cacheBytes int64, cacheOff bool) error 
 	const nodes = 4
 	st := storage.NewStore(nodes)
 	paths := storage.UniformSet(st, 16, 64<<10)
+	applyReplicas(st)
 	cfg := simsrv.MeikoConfig(nodes, st)
 	cfg.Seed = seed
 	cfg.CacheBytes = cacheBytes

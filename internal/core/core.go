@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // NodeLoad is one row of the broker's view of the cluster, assembled by
@@ -56,6 +57,10 @@ type Request struct {
 	Size int64
 	// Owner is the node whose local disk holds the document.
 	Owner int
+	// Replicas is the document's full replica set (primary owner first).
+	// Nil means the single-owner layout; the cost model then falls back to
+	// Owner alone, preserving the pre-replication behavior bit for bit.
+	Replicas []int
 	// Ops is the oracle's CPU estimate: fork + read handling + marshaling
 	// + any CGI computation.
 	Ops float64
@@ -89,6 +94,28 @@ func (r Request) cachedAt(node, local int) bool {
 		return true
 	}
 	return r.CachedAt != nil && node >= 0 && node < len(r.CachedAt) && r.CachedAt[node]
+}
+
+// replicaSet returns the document's replica node list: the explicit set
+// when present, else the single owner.
+func (r Request) replicaSet() []int {
+	if len(r.Replicas) > 0 {
+		return r.Replicas
+	}
+	return []int{r.Owner}
+}
+
+// holdsReplica reports whether node has a local copy of the document.
+func (r Request) holdsReplica(node int) bool {
+	if len(r.Replicas) == 0 {
+		return node == r.Owner
+	}
+	for _, rep := range r.Replicas {
+		if rep == node {
+			return true
+		}
+	}
+	return false
 }
 
 // Params are the scheduler's tunables, with paper defaults from
@@ -166,11 +193,15 @@ func (p Params) Validate() error {
 // CostBreakdown itemizes one candidate node's estimate, mirroring the
 // paper's formula term by term.
 type CostBreakdown struct {
-	Node       int
-	Redirect   float64 // t_redirection
-	Data       float64 // t_data
-	CPU        float64 // t_CPU
-	Net        float64 // t_net: server-attachment egress share (see EstimateCost)
+	Node     int
+	Redirect float64 // t_redirection
+	Data     float64 // t_data
+	CPU      float64 // t_CPU
+	Net      float64 // t_net: server-attachment egress share (see EstimateCost)
+	// Source is the replica node the data term assumed the bytes come
+	// from: the candidate itself when it holds a copy (or a cache hit),
+	// otherwise the cheapest replica of the document's set.
+	Source     int
 	Total      float64
 	Infeasible bool // node unavailable
 }
@@ -216,7 +247,7 @@ func (s *SWEB) Name() string { return "SWEB" }
 // given the load table. Exported so tests and the analytic comparisons can
 // probe individual terms.
 func (s *SWEB) EstimateCost(req Request, local, target int, loads []NodeLoad) CostBreakdown {
-	cb := CostBreakdown{Node: target}
+	cb := CostBreakdown{Node: target, Source: target}
 	ld := loads[target]
 	if !ld.Available {
 		cb.Infeasible = true
@@ -245,29 +276,7 @@ func (s *SWEB) EstimateCost(req Request, local, target int, loads []NodeLoad) Co
 			}
 			return n.NetLoad
 		}
-		switch {
-		case req.cachedAt(target, local):
-			// Page-cache hit (own cache, or a peer's gossiped digest):
-			// a memory copy, effectively free next to the disk and
-			// network terms.
-			cb.Data = 0
-		case req.Owner == target:
-			bd := ld.DiskBytesPerSec / (1 + diskLoad(ld))
-			cb.Data = req.DiskBytes / bd
-		default:
-			// b2: the advertised NetBytesPerSec already folds in the NFS
-			// protocol penalty, exactly as the paper's measured b2 does.
-			owner := loads[req.Owner]
-			bn := ld.NetBytesPerSec / (1 + netLoad(ld))
-			if req.cachedAt(req.Owner, local) {
-				// The owner holds the document in memory: its NFS answer
-				// skips the disk, leaving only the interconnect path.
-				cb.Data = req.DiskBytes / bn
-			} else {
-				bd := owner.DiskBytesPerSec / (1 + diskLoad(owner))
-				cb.Data = req.DiskBytes / math.Min(bd, bn)
-			}
-		}
+		cb.Data, cb.Source = dataSeconds(req, local, target, loads, diskLoad, netLoad)
 	}
 
 	// t_CPU: estimated operations over the load-degraded CPU speed.
@@ -290,6 +299,130 @@ func (s *SWEB) EstimateCost(req Request, local, target int, loads []NodeLoad) Co
 
 	cb.Total = cb.Redirect + cb.Data + cb.CPU + cb.Net
 	return cb
+}
+
+// dataSeconds prices the t_data term for serving req at target and names
+// the replica the bytes would come from. A target holding a replica (or a
+// cache-resident copy) reads locally; a remote target prices every
+// replica of the document's set and fetches from the cheapest — a
+// cache-resident source skips its disk, leaving only the interconnect
+// path, exactly as the single-owner model priced a cached owner. Replicas
+// marked unavailable are priced only as a last resort, so a dead source
+// never outranks a live one. diskLoad and netLoad are the caller's
+// facet-ablation views of the load vector.
+func dataSeconds(req Request, local, target int, loads []NodeLoad,
+	diskLoad, netLoad func(NodeLoad) float64) (float64, int) {
+	ld := loads[target]
+	switch {
+	case req.cachedAt(target, local):
+		// Page-cache hit (own cache, or a peer's gossiped digest):
+		// a memory copy, effectively free next to the disk and
+		// network terms.
+		return 0, target
+	case req.holdsReplica(target):
+		bd := ld.DiskBytesPerSec / (1 + diskLoad(ld))
+		return req.DiskBytes / bd, target
+	}
+	best, bestRep := math.Inf(1), -1
+	for pass := 0; pass < 2 && bestRep < 0; pass++ {
+		for _, rep := range req.replicaSet() {
+			if rep < 0 || rep >= len(loads) || rep == target {
+				continue
+			}
+			if pass == 0 && !loads[rep].Available {
+				continue
+			}
+			if sec := sourceSeconds(req, local, target, rep, loads, diskLoad, netLoad); sec < best {
+				best, bestRep = sec, rep
+			}
+		}
+	}
+	if bestRep < 0 {
+		// No remote source at all (the set reduced to the target, or every
+		// replica is out of range): price the local disk.
+		bd := ld.DiskBytesPerSec / (1 + diskLoad(ld))
+		return req.DiskBytes / bd, target
+	}
+	return best, bestRep
+}
+
+// sourceSeconds prices one remote fetch: req's bytes pulled from replica
+// rep for service at target. b2 — the advertised NetBytesPerSec — already
+// folds in the NFS protocol penalty, exactly as the paper's measured b2
+// does.
+func sourceSeconds(req Request, local, target, rep int, loads []NodeLoad,
+	diskLoad, netLoad func(NodeLoad) float64) float64 {
+	ld := loads[target]
+	bn := ld.NetBytesPerSec / (1 + netLoad(ld))
+	if req.cachedAt(rep, local) {
+		// The source holds the document in memory: its NFS answer skips
+		// the disk, leaving only the interconnect path.
+		return req.DiskBytes / bn
+	}
+	src := loads[rep]
+	bd := src.DiskBytesPerSec / (1 + diskLoad(src))
+	return req.DiskBytes / math.Min(bd, bn)
+}
+
+// identityDisk and identityNet are the facet-free load views RankSources
+// uses: failover order is about where the bytes physically are, not about
+// the scheduler ablation under test.
+func identityDisk(n NodeLoad) float64 { return n.DiskLoad }
+func identityNet(n NodeLoad) float64  { return n.NetLoad }
+
+// RankSources orders req's replica set cheapest-first for service at
+// target — the fetch-failover order both substrates walk: the first
+// source gets the internal fetch, and when it dies mid-budget the relay
+// fails over down the list. The target itself leads when it holds a
+// replica (a local copy beats any interconnect path); available replicas
+// follow, priced by the same disk-vs-interconnect minimum EstimateCost
+// uses; unavailable replicas trail in set order as the last resort.
+func RankSources(req Request, local, target int, loads []NodeLoad) []int {
+	type cand struct {
+		node int
+		sec  float64
+		up   bool
+		idx  int
+	}
+	reps := req.replicaSet()
+	cands := make([]cand, 0, len(reps))
+	for i, rep := range reps {
+		if rep < 0 || rep >= len(loads) {
+			continue
+		}
+		c := cand{node: rep, idx: i, up: loads[rep].Available}
+		if rep == target {
+			c.sec, c.up = 0, true
+		} else {
+			c.sec = sourceSeconds(req, local, target, rep, loads, identityDisk, identityNet)
+		}
+		cands = append(cands, c)
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if ca.up != cb.up {
+			return ca.up
+		}
+		if ca.sec != cb.sec {
+			return ca.sec < cb.sec
+		}
+		return ca.idx < cb.idx
+	})
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.node
+	}
+	return out
+}
+
+// PickSource returns RankSources' first choice — the node the document's
+// bytes should come from when req is served at target. Falls back to the
+// primary owner when the replica set is empty or out of range.
+func PickSource(req Request, local, target int, loads []NodeLoad) int {
+	if r := RankSources(req, local, target, loads); len(r) > 0 {
+		return r[0]
+	}
+	return req.Owner
 }
 
 // Choose implements Policy: minimum estimated completion time, with ties

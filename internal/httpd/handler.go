@@ -248,6 +248,7 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 			Path:          req.Path,
 			Size:          file.Size,
 			Owner:         file.Owner,
+			Replicas:      file.Replicas,
 			Ops:           d.Ops(file.Size) + file.CGIOps,
 			DiskBytes:     d.DiskBytes(file.Size),
 			Arrived:       s.cfg.ID,
@@ -355,7 +356,7 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchLocal, s.cfg.ID, "cache=hit")
 		status = s.writeEntry(rc, req, hot)
 		s.nm.phase("fetch_local", time.Since(tFulfill).Seconds())
-	case file.Owner == s.cfg.ID:
+	case file.HasReplica(s.cfg.ID):
 		s.nm.event(trace.EvFetchLocal)
 		rec.Record(tid, s.sinceEpoch(tFulfill), trace.EvFetchLocal, s.cfg.ID, "")
 		status = s.serveLocalFile(rc, req, file)
@@ -400,10 +401,10 @@ func (s *Server) handle(rc *reqConn, req *httpmsg.Request, t0 time.Time) {
 			Path:    req.Path,
 			Owner:   owner,
 			Bytes:   rc.meter.written,
-			Relay:   !isCGI && !cacheHit && file.Owner != s.cfg.ID,
+			Relay:   !isCGI && !cacheHit && !file.HasReplica(s.cfg.ID),
 			Miss:    !isCGI && s.cache != nil && !cacheHit,
 			Seconds: total,
-		})
+		}, len(file.ReplicaSet()))
 	}
 
 	fl := flight.Record{
@@ -563,7 +564,7 @@ func (s *Server) cachedLocally(path string) bool {
 // entry atomically, so the cache never serves bytes older than what the
 // validator can see.
 func (s *Server) entryCheck(path string, file storage.File) func(cache.Entry) bool {
-	if file.Owner == s.cfg.ID {
+	if file.HasReplica(s.cfg.ID) {
 		return s.localCheck(path)
 	}
 	return func(ent cache.Entry) bool { return int64(len(ent.Body)) == file.Size }
@@ -745,20 +746,22 @@ func (s *Server) streamLocalFile(rc *reqConn, req *httpmsg.Request) int {
 	return s.streamResponse(rc, req, fi.Size(), f, fi.ModTime())
 }
 
-// serveRemoteFile fetches the document from its owner (the NFS stand-in)
-// and relays it to the client. Cacheable documents are materialized into
-// the hot-file cache — with the owner's Last-Modified preserved so clients
-// can 304-revalidate foreign documents — and concurrent requests for the
-// same cold document coalesce into one fetch (singleflight). Documents too
-// big for the cache stream straight from the owner's socket to the client
-// without ever being held in memory. Either way the fetch runs under the
-// node's retry budget — a dead owner is retried with capped, jittered
-// backoff and each failure feeds the loadd health view — and only once the
-// budget is spent does the client see the degradation ladder's last rung:
-// 503 with a Retry-After hint.
+// serveRemoteFile fetches the document from a replica (the NFS stand-in)
+// and relays it to the client. The replica set is walked cheapest-first
+// (core.RankSources) with failover: a dead source feeds the loadd health
+// view and the next attempt moves down the list, so a single node death
+// never turns a replicated document into a 503. Cacheable documents are
+// materialized into the hot-file cache — with the source's Last-Modified
+// preserved so clients can 304-revalidate foreign documents — and
+// concurrent requests for the same cold document coalesce into one fetch
+// (singleflight). Documents too big for the cache stream straight from
+// the source's socket to the client without ever being held in memory.
+// Either way the fetch runs under the node's retry budget, and only once
+// the budget is spent across every replica does the client see the
+// degradation ladder's last rung: 503 with a Retry-After hint.
 func (s *Server) serveRemoteFile(rc *reqConn, req *httpmsg.Request, file storage.File, tctx trace.TraceID) int {
-	peer, ok := s.peerByID(file.Owner)
-	if !ok {
+	sources := s.rankedSources(req.Path, file)
+	if len(sources) == 0 {
 		s.errors.Add(1)
 		s.drop("owner_unknown")
 		_ = rc.simple(httpmsg.StatusInternalServerError, nil,
@@ -768,10 +771,10 @@ func (s *Server) serveRemoteFile(rc *reqConn, req *httpmsg.Request, file storage
 	s.netActive.Add(1)
 	defer s.netActive.Add(-1)
 	if !s.cacheable(file) {
-		return s.relayStream(rc, req, peer, file, tctx)
+		return s.relayStream(rc, req, sources, tctx)
 	}
 	ent, err := s.cache.Fetch(req.Path, s.entryCheck(req.Path, file), func() (cache.Entry, error) {
-		resp, ferr := s.fetchWithRetry(peer, file.Owner, req.Path, tctx)
+		resp, ferr := s.fetchWithRetry(sources, req.Path, tctx)
 		if ferr != nil {
 			return cache.Entry{}, ferr
 		}
@@ -781,6 +784,31 @@ func (s *Server) serveRemoteFile(rc *reqConn, req *httpmsg.Request, file storage
 		return s.degrade503(rc, req)
 	}
 	return s.writeEntry(rc, req, ent)
+}
+
+// rankedSources maps core.RankSources' cheapest-first replica order onto
+// the known peers — the failover list the fetch paths walk. Unavailable
+// replicas trail the list rather than vanish: when every replica looks
+// dead the fetch still tries them, because the health view may be stale.
+func (s *Server) rankedSources(path string, file storage.File) []fetchSource {
+	d := s.cfg.Oracle.Characterize(path)
+	coreReq := core.Request{
+		Path:      path,
+		Owner:     file.Owner,
+		Replicas:  file.Replicas,
+		DiskBytes: d.DiskBytes(file.Size),
+	}
+	loads := s.snapshotLoads()
+	out := make([]fetchSource, 0, len(file.ReplicaSet()))
+	for _, rep := range core.RankSources(coreReq, s.cfg.ID, s.cfg.ID, loads) {
+		if rep == s.cfg.ID {
+			continue
+		}
+		if peer, ok := s.peerByID(rep); ok {
+			out = append(out, fetchSource{node: rep, peer: peer})
+		}
+	}
+	return out
 }
 
 // degrade503 answers the degradation ladder's last rung: the owner stayed

@@ -7,8 +7,10 @@ import (
 
 // heatObserve folds one fulfilled request into the document-heat sketch
 // and bumps the per-path metric counters the monitor's hot_doc rule
-// windows. Nil-safe via the sketch: with heat off this is a nil check.
-func (s *Server) heatObserve(o heat.Observation) {
+// windows, plus the replica-set-size gauge the rule divides by — so
+// replicating a hot document clears the alert without the load having to
+// flatten. Nil-safe via the sketch: with heat off this is a nil check.
+func (s *Server) heatObserve(o heat.Observation, replicas int) {
 	if s.heat == nil {
 		return
 	}
@@ -16,9 +18,11 @@ func (s *Server) heatObserve(o heat.Observation) {
 	s.nm.reg.Counter(mHeatRequests, "served requests per document path",
 		metrics.Labels{"path": o.Path}).Inc()
 	if o.Relay {
-		s.nm.reg.Counter(mHeatRelays, "requests served by fetching the document from its owner",
+		s.nm.reg.Counter(mHeatRelays, "requests served by fetching the document from a replica",
 			metrics.Labels{"path": o.Path}).Inc()
 	}
+	s.nm.reg.Gauge(mHeatReplicas, "replica-set size of the document at last serve",
+		metrics.Labels{"path": o.Path}).Set(float64(replicas))
 }
 
 // Heat exposes the node's document-heat sketch (nil when disabled) for

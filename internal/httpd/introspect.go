@@ -244,6 +244,8 @@ func (s *Server) serveIntrospection(rc *reqConn, req *httpmsg.Request) int {
 			return code
 		}
 		body, ctype = append(b, '\n'), "application/json"
+	case "/sweb/replicate":
+		return s.serveReplicate(rc, req)
 	case "/sweb/metrics":
 		var buf bytes.Buffer
 		if err := s.nm.reg.WriteText(&buf); err != nil {

@@ -63,6 +63,12 @@ const (
 	mHeatTracked      = "sweb_heat_tracked_paths"
 	mHeatRequests     = "sweb_heat_requests_total"
 	mHeatRelays       = "sweb_heat_relays_total"
+	// Replication telemetry: which replica internal fetches landed on
+	// (the parity and chaos tests' failover evidence), the replica-set
+	// size the hot_doc rule divides by, and the rebalancer's actions.
+	mHeatReplicas = "sweb_heat_replicas"
+	mReplicaFetch = "sweb_replica_fetch_total"
+	mRebalance    = "sweb_rebalance_actions_total"
 )
 
 // keepAliveBuckets cover one-shot connections through a fully amortized
@@ -239,6 +245,16 @@ func (m *nodeMetrics) redirect(target int) {
 		metrics.Labels{"target": strconv.Itoa(target)}).Inc()
 }
 
+func (m *nodeMetrics) replicaFetch(path string, source int) {
+	m.reg.Counter(mReplicaFetch, "internal document fetches by source replica node",
+		metrics.Labels{"path": path, "source": strconv.Itoa(source)}).Inc()
+}
+
+func (m *nodeMetrics) rebalanceAction(action string) {
+	m.reg.Counter(mRebalance, "replica-set mutations applied at this node, by action",
+		metrics.Labels{"action": action}).Inc()
+}
+
 // keepAliveServed observes one connection's request count at its end.
 func (m *nodeMetrics) keepAliveServed(n float64) {
 	m.kaServed.Observe(n)
@@ -259,6 +275,7 @@ func (m *nodeMetrics) prediction(phase string, predicted, actual float64) {
 // survives encoding/json (which rejects infinities).
 type AuditCandidate struct {
 	Node            int     `json:"node"`
+	SourceNode      int     `json:"source_node"` // replica the data term priced
 	RedirectSeconds float64 `json:"redirect_seconds"`
 	DataSeconds     float64 `json:"data_seconds"`
 	CPUSeconds      float64 `json:"cpu_seconds"`
@@ -300,6 +317,7 @@ func sanitizeCandidates(cands []core.CostBreakdown) []AuditCandidate {
 	for i, cb := range cands {
 		out[i] = AuditCandidate{
 			Node:            cb.Node,
+			SourceNode:      cb.Source,
 			RedirectSeconds: sanitizeSeconds(cb.Redirect),
 			DataSeconds:     sanitizeSeconds(cb.Data),
 			CPUSeconds:      sanitizeSeconds(cb.CPU),

@@ -12,7 +12,6 @@ import (
 
 	"sweb/internal/httpmsg"
 	"sweb/internal/retry"
-	"sweb/internal/storage"
 	"sweb/internal/trace"
 )
 
@@ -195,71 +194,88 @@ func (s *Server) fetchFromPeer(peer Peer, path string, tctx trace.TraceID) (*htt
 	return resp, nil
 }
 
-// fetchWithRetry runs the materializing internal fetch under the node's
-// retry budget, feeding the loadd health view on every outcome.
-func (s *Server) fetchWithRetry(peer Peer, owner int, path string, tctx trace.TraceID) (*httpmsg.Response, error) {
-	s.internalFetch.Add(1)
-	pol := retry.Policy{
-		MaxAttempts: s.cfg.FetchAttempts,
+// fetchSource is one replica candidate for an internal fetch: the node id
+// the health view tracks and the peer address to dial.
+type fetchSource struct {
+	node int
+	peer Peer
+}
+
+// fetchPolicy builds the retry budget for an internal fetch over the
+// given failover list: the per-source attempt count scales with the list
+// so every replica gets its full share of tries (R=1 reduces to the
+// pre-replication policy exactly), while the time budget stays fixed.
+func (s *Server) fetchPolicy(sources int) retry.Policy {
+	return retry.Policy{
+		MaxAttempts: s.cfg.FetchAttempts * sources,
 		BaseDelay:   s.cfg.FetchBackoff,
 		MaxDelay:    2 * time.Second,
 		Jitter:      0.2,
 		Budget:      connTimeout / 2,
 	}
+}
+
+// fetchWithRetry runs the materializing internal fetch under the node's
+// retry budget, rotating through the failover list — attempt k hits
+// sources[(k-1) mod len] — and feeding the loadd health view on every
+// outcome, so a dead replica is tried, marked, and routed around.
+func (s *Server) fetchWithRetry(sources []fetchSource, path string, tctx trace.TraceID) (*httpmsg.Response, error) {
+	s.internalFetch.Add(1)
 	var resp *httpmsg.Response
-	err := pol.Do(s.closed, func(int) error {
-		r, ferr := s.fetchFromPeer(peer, path, tctx)
+	err := s.fetchPolicy(len(sources)).Do(s.closed, func(attempt int) error {
+		src := sources[(attempt-1)%len(sources)]
+		r, ferr := s.fetchFromPeer(src.peer, path, tctx)
 		if ferr != nil {
-			s.table.MarkFailure(owner)
+			s.table.MarkFailure(src.node)
 			return ferr
 		}
+		s.table.MarkSuccess(src.node)
+		s.nm.replicaFetch(path, src.node)
 		resp = r
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.table.MarkSuccess(owner)
 	return resp, nil
 }
 
-// relayStream pipes a non-cacheable document from its owner straight to
-// the client without materializing it: the owner's response header is
+// relayStream pipes a non-cacheable document from a replica straight to
+// the client without materializing it: the source's response header is
 // parsed, then the body is copied socket-to-socket through a pooled
-// buffer. Retries apply only while nothing has reached the client; once
-// the first body byte is on the wire a dying owner can only truncate the
-// transfer (the client sees the short body against Content-Length, and
-// both connections are spent).
-func (s *Server) relayStream(rc *reqConn, req *httpmsg.Request, peer Peer, file storage.File, tctx trace.TraceID) int {
+// buffer. Attempts rotate through the failover list, so a dead source
+// sends the next try to the surviving replica. Retries apply only while
+// nothing has reached the client; once the first body byte is on the
+// wire a dying source can only truncate the transfer (the client sees
+// the short body against Content-Length, and both connections are
+// spent).
+func (s *Server) relayStream(rc *reqConn, req *httpmsg.Request, sources []fetchSource, tctx trace.TraceID) int {
 	s.internalFetch.Add(1)
 	ireq := s.internalRequest(req.Method, req.Path, req.Header.Get("If-Modified-Since"), tctx)
-	pol := retry.Policy{
-		MaxAttempts: s.cfg.FetchAttempts,
-		BaseDelay:   s.cfg.FetchBackoff,
-		MaxDelay:    2 * time.Second,
-		Jitter:      0.2,
-		Budget:      connTimeout / 2,
-	}
 	var u *upstream
 	var resp *httpmsg.Response
-	err := pol.Do(s.closed, func(int) error {
-		uu, r, ferr := s.openPeerStream(peer, ireq)
+	var chosen fetchSource
+	err := s.fetchPolicy(len(sources)).Do(s.closed, func(attempt int) error {
+		cand := sources[(attempt-1)%len(sources)]
+		uu, r, ferr := s.openPeerStream(cand.peer, ireq)
 		if ferr != nil {
-			s.table.MarkFailure(file.Owner)
+			s.table.MarkFailure(cand.node)
 			return ferr
 		}
 		if r.StatusCode != httpmsg.StatusOK && r.StatusCode != httpmsg.StatusNotModified {
 			uu.Close()
-			s.table.MarkFailure(file.Owner)
-			return fmt.Errorf("owner %d returned %d", peer.ID, r.StatusCode)
+			s.table.MarkFailure(cand.node)
+			return fmt.Errorf("replica %d returned %d", cand.peer.ID, r.StatusCode)
 		}
-		u, resp = uu, r
+		u, resp, chosen = uu, r, cand
 		return nil
 	})
 	if err != nil {
 		return s.degrade503(rc, req)
 	}
-	s.table.MarkSuccess(file.Owner)
+	s.table.MarkSuccess(chosen.node)
+	s.nm.replicaFetch(req.Path, chosen.node)
+	peer := chosen.peer
 
 	if resp.StatusCode == httpmsg.StatusNotModified {
 		s.ups.put(peer.HTTPAddr, u) // a 304 carries no body; the conn is clean

@@ -110,6 +110,11 @@ type Options struct {
 	// (the overhead ablation).
 	SLO         []slo.Objective
 	ExemplarOff bool
+	// Replicas, when > 1, replicates every static document R ways at
+	// startup (storage.Replicate's round-robin placement) and
+	// materializes each copy in its node's docroot — the availability
+	// baseline the chaos tests kill nodes under.
+	Replicas int
 	// Seed drives file content generation.
 	Seed int64
 }
@@ -127,6 +132,8 @@ type Cluster struct {
 	peers []httpd.Peer
 	// ms is the attached cluster monitor, nil until StartMonitor.
 	ms *monitorState
+	// rb is the attached replica rebalancer, nil until StartRebalancer.
+	rb *rebalancerState
 
 	// snapshotDir is the bundle destination; snapMu serializes writes and
 	// guards the cooldown clock and the written-bundle list.
@@ -150,6 +157,9 @@ func Start(o Options) (*Cluster, error) {
 	}
 	if o.LoaddPeriod == 0 {
 		o.LoaddPeriod = 500 * time.Millisecond
+	}
+	if o.Replicas > 1 {
+		storage.Replicate(o.Store, o.Replicas)
 	}
 	if err := Materialize(o.Store, o.BaseDir, o.Seed); err != nil {
 		return nil, err
@@ -267,6 +277,7 @@ func (c *Cluster) Epoch() time.Time { return c.epoch }
 
 // Close stops every node.
 func (c *Cluster) Close() {
+	c.StopRebalancer()
 	c.StopMonitor()
 	for _, srv := range c.Servers {
 		if srv != nil {
@@ -323,8 +334,9 @@ func nodeDocRoot(base string, i int) string {
 	return filepath.Join(base, fmt.Sprintf("node%d", i))
 }
 
-// Materialize writes every document in the store to its owner's docroot
-// with deterministic pseudo-random content.
+// Materialize writes every document in the store to each replica's
+// docroot with deterministic pseudo-random content (one generation per
+// document, so every copy is byte-identical).
 func Materialize(st *storage.Store, baseDir string, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	for _, p := range st.Paths() {
@@ -332,14 +344,16 @@ func Materialize(st *storage.Store, baseDir string, seed int64) error {
 		if f.CGI {
 			continue // dynamic endpoints are registered, not stored
 		}
-		full := filepath.Join(nodeDocRoot(baseDir, f.Owner), filepath.FromSlash(strings.TrimPrefix(p, "/")))
-		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
-			return fmt.Errorf("live: %v", err)
-		}
 		body := make([]byte, f.Size)
 		rng.Read(body)
-		if err := os.WriteFile(full, body, 0o644); err != nil {
-			return fmt.Errorf("live: %v", err)
+		for _, node := range f.ReplicaSet() {
+			full := filepath.Join(nodeDocRoot(baseDir, node), filepath.FromSlash(strings.TrimPrefix(p, "/")))
+			if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+				return fmt.Errorf("live: %v", err)
+			}
+			if err := os.WriteFile(full, body, 0o644); err != nil {
+				return fmt.Errorf("live: %v", err)
+			}
 		}
 	}
 	return nil

@@ -83,6 +83,29 @@ func Heat(addr string) (*heat.Dump, error) {
 	return &dump, nil
 }
 
+// ReplicateCmd asks one node to apply a replica-set change via
+// /sweb/replicate: the addressed node materializes (add) or retires
+// (drop) its own copy when node is its id, and otherwise just records
+// the routing fact. Returns the replica set the node reports afterward.
+func ReplicateCmd(addr, path string, node int, action string) ([]int, error) {
+	q := fmt.Sprintf("/sweb/replicate?path=%s&node=%d&action=%s",
+		httpmsg.EscapePath(path), node, action)
+	code, _, body, err := fetchOnce(addr, q, scrapeTimeout, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	if code != httpmsg.StatusOK {
+		return nil, fmt.Errorf("live: %s/sweb/replicate returned %d", addr, code)
+	}
+	var resp struct {
+		Replicas []int `json:"replicas"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("live: %s/sweb/replicate: %v", addr, err)
+	}
+	return resp.Replicas, nil
+}
+
 // TriggerSnapshot asks one node to write a diagnostic bundle via
 // /sweb/snapshot and returns the bundle path (local to that node).
 func TriggerSnapshot(addr string) (string, error) {

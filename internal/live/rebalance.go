@@ -1,0 +1,98 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"sweb/internal/rebalance"
+)
+
+// rebalancerState holds the cluster's replica rebalancer loop.
+type rebalancerState struct {
+	ctrl *rebalance.Controller
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	mu      sync.Mutex
+	applied []rebalance.Action
+}
+
+// StartRebalancer attaches the heat-driven replica rebalancer: every
+// period it folds the nodes' heat sketches into the cluster view, asks
+// the controller for actions, and applies them — an "add" makes the
+// target node materialize its own copy (bytes first, store second), a
+// "drop" retires one. Dead nodes neither receive replicas nor apply
+// actions. Idempotent; StopRebalancer (or Close) halts the loop.
+func (c *Cluster) StartRebalancer(cfg rebalance.Config, period time.Duration) {
+	if c.rb != nil {
+		return
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	rb := &rebalancerState{ctrl: rebalance.New(cfg), stop: make(chan struct{})}
+	c.rb = rb
+	rb.wg.Add(1)
+	go func() {
+		defer rb.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-rb.stop:
+				return
+			case <-t.C:
+				c.rebalanceTick(rb)
+			}
+		}
+	}()
+}
+
+// rebalanceTick runs one controller round and applies its actions.
+func (c *Cluster) rebalanceTick(rb *rebalancerState) {
+	up := func(n int) bool {
+		return n >= 0 && n < len(c.Servers) && c.Servers[n] != nil && !c.Servers[n].Closed()
+	}
+	for _, act := range rb.ctrl.Tick(c.MergedHeat(), c.store, up) {
+		if !up(act.Node) {
+			continue
+		}
+		var err error
+		switch act.Kind {
+		case "add":
+			err = c.Servers[act.Node].MaterializeReplica(act.Path)
+		case "drop":
+			err = c.Servers[act.Node].DropReplicaLocal(act.Path)
+		}
+		if err == nil {
+			rb.mu.Lock()
+			rb.applied = append(rb.applied, act)
+			rb.mu.Unlock()
+		}
+	}
+}
+
+// RebalanceLog returns the actions the rebalancer has applied so far, in
+// order — the redistribution tests read it to hold the advisor's
+// predictions against observed traffic.
+func (c *Cluster) RebalanceLog() []rebalance.Action {
+	if c.rb == nil {
+		return nil
+	}
+	c.rb.mu.Lock()
+	defer c.rb.mu.Unlock()
+	out := make([]rebalance.Action, len(c.rb.applied))
+	copy(out, c.rb.applied)
+	return out
+}
+
+// StopRebalancer halts the rebalance loop. Safe to call repeatedly or
+// with no rebalancer attached.
+func (c *Cluster) StopRebalancer() {
+	if c.rb == nil {
+		return
+	}
+	c.rb.once.Do(func() { close(c.rb.stop) })
+	c.rb.wg.Wait()
+}

@@ -270,10 +270,17 @@ func DefaultRules(cfg RuleConfig) []Rule {
 		// served requests one document drew over the window, from the
 		// per-path sweb_heat_requests_total counters against the
 		// sweb_heat_observations_total denominator. Both substrates
-		// publish the same families, so one rule reads either.
+		// publish the same families, so one rule reads either. The share
+		// is divided by the document's replica-set size (the max
+		// sweb_heat_replicas gauge any node reports, default 1): R
+		// replicas split the load R ways, so a replicated document is
+		// only pathological when its per-copy share still breaches — and
+		// the rebalancer's fix clears the alert without the load itself
+		// flattening.
 		hy("hot_doc", cfg.HotDocShare, func(v *View) map[string]float64 {
 			var total float64
 			byPath := make(map[string]float64)
+			replicas := make(map[string]float64)
 			for _, n := range v.Nodes {
 				if !v.up(n) {
 					continue
@@ -285,13 +292,27 @@ func DefaultRules(cfg RuleConfig) []Rule {
 						byPath[path] += Delta(s.Points, v.From, v.To)
 					}
 				}
+				for _, s := range v.Store.Select("sweb_heat_replicas", metrics.Labels{"node": n}) {
+					path := s.Labels["path"]
+					p, ok := Latest(s.Points)
+					if path == "" || !ok {
+						continue
+					}
+					if p.V > replicas[path] {
+						replicas[path] = p.V
+					}
+				}
 			}
 			if total <= 0 || total/(v.To-v.From) < cfg.HotDocMinRate {
 				return map[string]float64{"": 0}
 			}
 			out := make(map[string]float64, len(byPath))
 			for path, count := range byPath {
-				out[path] = count / total
+				r := replicas[path]
+				if r < 1 {
+					r = 1
+				}
+				out[path] = count / total / r
 			}
 			return out
 		}),

@@ -1,0 +1,213 @@
+package rebalance
+
+import (
+	"testing"
+
+	"sweb/internal/heat"
+	"sweb/internal/storage"
+)
+
+// testStore builds a 4-node store with one replicable document owned by
+// node 0 and one CGI endpoint.
+func testStore(t *testing.T) *storage.Store {
+	t.Helper()
+	st := storage.NewStore(4)
+	for _, f := range []storage.File{
+		{Path: "/hot.html", Size: 4096, Owner: 0},
+		{Path: "/cold.html", Size: 1024, Owner: 1},
+		{Path: "/cgi/sum", Size: 0, Owner: 2, CGI: true, CGIOps: 1000},
+	} {
+		if err := st.Add(f); err != nil {
+			t.Fatalf("Add %s: %v", f.Path, err)
+		}
+	}
+	return st
+}
+
+// view builds a Merged heat view where path draws count landings out of
+// total, spread over byNode.
+func view(total uint64, entries ...heat.MergedEntry) heat.Merged {
+	return heat.Merged{Total: total, Entries: entries}
+}
+
+func entry(path string, owner int, count uint64, byNode map[int]uint64) heat.MergedEntry {
+	var relays uint64
+	for n, c := range byNode {
+		if n != owner {
+			relays += c
+		}
+	}
+	return heat.MergedEntry{
+		Path: path, Owner: owner, Count: count,
+		Relays: relays, ByNode: byNode,
+	}
+}
+
+// hotView is a skew where /hot.html draws 80% of traffic, most of it
+// landing on node 2.
+func hotView() heat.Merged {
+	return view(100,
+		entry("/hot.html", 0, 80, map[int]uint64{0: 10, 2: 60, 3: 10}),
+		entry("/cold.html", 1, 20, map[int]uint64{1: 20}),
+	)
+}
+
+func TestHysteresisDelaysAdd(t *testing.T) {
+	st := testStore(t)
+	c := New(Config{ForTicks: 2, HotShare: 0.5, CoolShare: 0.1, MaxReplicas: 2, BudgetPerTick: 4})
+	if acts := c.Tick(hotView(), st, nil); len(acts) != 0 {
+		t.Fatalf("tick 1 acted before ForTicks elapsed: %+v", acts)
+	}
+	acts := c.Tick(hotView(), st, nil)
+	if len(acts) != 1 || acts[0].Kind != "add" || acts[0].Path != "/hot.html" {
+		t.Fatalf("tick 2 = %+v, want single add for /hot.html", acts)
+	}
+	if acts[0].Node != 2 {
+		t.Fatalf("replica target = %d, want heaviest landing node 2", acts[0].Node)
+	}
+}
+
+func TestCooldownAndMaxReplicas(t *testing.T) {
+	st := testStore(t)
+	c := New(Config{ForTicks: 1, HotShare: 0.5, CoolShare: 0.1, MaxReplicas: 2, BudgetPerTick: 4, CooldownTicks: 2})
+	acts := c.Tick(hotView(), st, nil)
+	if len(acts) != 1 || acts[0].Kind != "add" {
+		t.Fatalf("tick 1 = %+v, want one add", acts)
+	}
+	if err := st.AddReplica("/hot.html", acts[0].Node); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	// Cooldown suppresses further action even though the doc stays hot.
+	if acts := c.Tick(hotView(), st, nil); len(acts) != 0 {
+		t.Fatalf("tick 2 acted during cooldown: %+v", acts)
+	}
+	if acts := c.Tick(hotView(), st, nil); len(acts) != 0 {
+		t.Fatalf("tick 3 acted during cooldown: %+v", acts)
+	}
+	// Cooldown expired, but MaxReplicas=2 is already met: still no add.
+	if acts := c.Tick(hotView(), st, nil); len(acts) != 0 {
+		t.Fatalf("tick 4 exceeded MaxReplicas: %+v", acts)
+	}
+}
+
+func TestDropWhenCool(t *testing.T) {
+	st := testStore(t)
+	if err := st.AddReplica("/hot.html", 2); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	c := New(Config{ForTicks: 2, HotShare: 0.5, CoolShare: 0.2, MaxReplicas: 2, BudgetPerTick: 4})
+	cool := view(100,
+		entry("/hot.html", 0, 5, map[int]uint64{0: 5}),
+		entry("/cold.html", 1, 95, map[int]uint64{1: 40, 0: 55}),
+	)
+	if acts := c.Tick(cool, st, nil); actsOf(acts, "drop") != 0 {
+		t.Fatalf("tick 1 dropped before ForTicks: %+v", acts)
+	}
+	acts := c.Tick(cool, st, nil)
+	var drop *Action
+	for i := range acts {
+		if acts[i].Kind == "drop" && acts[i].Path == "/hot.html" {
+			drop = &acts[i]
+		}
+	}
+	if drop == nil {
+		t.Fatalf("tick 2 = %+v, want drop of /hot.html surplus replica", acts)
+	}
+	if drop.Node != 2 {
+		t.Fatalf("drop node = %d, want surplus replica 2 (never primary)", drop.Node)
+	}
+}
+
+func TestNeverDropsPrimary(t *testing.T) {
+	st := testStore(t)
+	c := New(Config{ForTicks: 1, HotShare: 0.9, CoolShare: 0.5, MaxReplicas: 2, BudgetPerTick: 4})
+	// /hot.html is cool (share .3) but has no surplus replica: nothing to drop.
+	cool := view(100,
+		entry("/hot.html", 0, 30, map[int]uint64{0: 30}),
+		entry("/cold.html", 1, 70, map[int]uint64{1: 70}),
+	)
+	for i := 0; i < 3; i++ {
+		if acts := c.Tick(cool, st, nil); len(acts) != 0 {
+			t.Fatalf("tick %d = %+v, want none (only primary exists)", i+1, acts)
+		}
+	}
+}
+
+func TestBudgetCapsAdds(t *testing.T) {
+	st := storage.NewStore(4)
+	for _, f := range []storage.File{
+		{Path: "/a.html", Size: 4096, Owner: 0},
+		{Path: "/b.html", Size: 4096, Owner: 1},
+	} {
+		if err := st.Add(f); err != nil {
+			t.Fatalf("Add %s: %v", f.Path, err)
+		}
+	}
+	c := New(Config{ForTicks: 1, HotShare: 0.4, CoolShare: 0.1, MaxReplicas: 2, BudgetPerTick: 1, CooldownTicks: 2})
+	both := view(100,
+		entry("/a.html", 0, 50, map[int]uint64{0: 10, 2: 40}),
+		entry("/b.html", 1, 50, map[int]uint64{1: 5, 3: 45}),
+	)
+	acts := c.Tick(both, st, nil)
+	if actsOf(acts, "add") != 1 {
+		t.Fatalf("budget 1 produced %d adds: %+v", actsOf(acts, "add"), acts)
+	}
+	// The un-acted path kept its streak and was not put on cooldown, so the
+	// next tick replicates it.
+	acts2 := c.Tick(both, st, nil)
+	if actsOf(acts2, "add") != 1 {
+		t.Fatalf("tick 2 adds = %d, want the deferred path: %+v", actsOf(acts2, "add"), acts2)
+	}
+	if len(acts) == 1 && len(acts2) == 1 && acts[0].Path == acts2[0].Path {
+		t.Fatalf("both ticks acted on %s; budget should round-robin the backlog", acts[0].Path)
+	}
+}
+
+func TestSkipsDownNodesAndCGI(t *testing.T) {
+	st := testStore(t)
+	c := New(Config{ForTicks: 1, HotShare: 0.5, CoolShare: 0.1, MaxReplicas: 2, BudgetPerTick: 4})
+	up := func(n int) bool { return n != 2 } // the advisor's pick is down
+	acts := c.Tick(hotView(), st, up)
+	if len(acts) != 1 || acts[0].Kind != "add" {
+		t.Fatalf("acts = %+v, want one add despite node 2 down", acts)
+	}
+	if acts[0].Node != 3 {
+		t.Fatalf("replica target = %d, want fallback to next-heaviest up node 3", acts[0].Node)
+	}
+
+	// A hot CGI endpoint never replicates.
+	cgi := view(100,
+		entry("/cgi/sum", 2, 90, map[int]uint64{0: 45, 1: 45}),
+		entry("/cold.html", 1, 10, map[int]uint64{1: 10}),
+	)
+	c2 := New(Config{ForTicks: 1, HotShare: 0.5, CoolShare: 0.1, MaxReplicas: 2, BudgetPerTick: 4})
+	for i := 0; i < 2; i++ {
+		if acts := c2.Tick(cgi, st, nil); len(acts) != 0 {
+			t.Fatalf("tick %d replicated a CGI endpoint: %+v", i+1, acts)
+		}
+	}
+}
+
+func TestStreakResetsWhenPathVanishes(t *testing.T) {
+	st := testStore(t)
+	c := New(Config{ForTicks: 2, HotShare: 0.5, CoolShare: 0.1, MaxReplicas: 2, BudgetPerTick: 4})
+	c.Tick(hotView(), st, nil) // hot streak 1
+	quiet := view(100, entry("/cold.html", 1, 100, map[int]uint64{1: 100}))
+	c.Tick(quiet, st, nil) // /hot.html vanished: streak resets
+	if acts := c.Tick(hotView(), st, nil); len(acts) != 0 {
+		t.Fatalf("streak survived a vanish: %+v", acts)
+	}
+	if acts := c.Tick(hotView(), st, nil); len(acts) != 1 {
+		t.Fatalf("restarted streak did not arm: %+v", acts)
+	}
+}
+
+func actsOf(acts []Action, kind string) int {
+	n := 0
+	for _, a := range acts {
+		if a.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -57,7 +57,12 @@ func (c *Cluster) heatObserve(rs *request, resp float64) {
 	reg.Counter("sweb_heat_requests_total", "served requests per document path",
 		metrics.Labels{"path": rs.path}).Inc()
 	if rs.fetchPhase == "fetch_nfs" {
-		reg.Counter("sweb_heat_relays_total", "requests served by fetching the document from its owner",
+		reg.Counter("sweb_heat_relays_total", "requests served by fetching the document from a replica",
 			metrics.Labels{"path": rs.path}).Inc()
 	}
+	// Replica-set size at serve time: the hot_doc rule divides a path's
+	// request share by this gauge, so replication — not only load decay —
+	// clears the alert.
+	reg.Gauge("sweb_heat_replicas", "replica-set size of the document at last serve",
+		metrics.Labels{"path": rs.path}).Set(float64(len(rs.file.ReplicaSet())))
 }

@@ -38,6 +38,8 @@ const (
 	smSchedAbsErr   = "sweb_sched_abs_error_seconds"
 	smGossipAge     = "sweb_loadd_broadcast_age_seconds"
 	smGossipAdv     = "sweb_loadd_advertised_load"
+	smReplicaFetch  = "sweb_replica_fetch_total"
+	smRebalance     = "sweb_rebalance_actions_total"
 )
 
 func newSimMetrics(c *Cluster, x int) *simMetrics {
@@ -133,6 +135,16 @@ func (m *simMetrics) drop(cause string) {
 func (m *simMetrics) phase(phase string, seconds float64) {
 	m.reg.Histogram(smPhase, "time spent per lifecycle phase",
 		metrics.Labels{"phase": phase}, nil).Observe(seconds)
+}
+
+func (m *simMetrics) replicaFetch(path string, source int) {
+	m.reg.Counter(smReplicaFetch, "internal document fetches by source replica node",
+		metrics.Labels{"path": path, "source": strconv.Itoa(source)}).Inc()
+}
+
+func (m *simMetrics) rebalanceAction(action string) {
+	m.reg.Counter(smRebalance, "replica-set mutations applied at this node, by action",
+		metrics.Labels{"action": action}).Inc()
 }
 
 func (m *simMetrics) redirect(target int) {

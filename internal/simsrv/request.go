@@ -98,6 +98,7 @@ func (c *Cluster) decide(rs *request, x int) {
 	if rs.found {
 		req.Size = rs.file.Size
 		req.Owner = rs.file.Owner
+		req.Replicas = rs.file.Replicas
 		req.CachedLocal = c.nodes[x].Cache.Peek(rs.path)
 		if c.cfg.CacheHints > 0 {
 			// Cooperative caching: mark peers whose last digest said they
@@ -410,11 +411,15 @@ func (c *Cluster) streamFile(rs *request, x int) {
 	if cachedHere {
 		node.Cache.Touch(f.Path)
 	}
-	remote := f.Owner != x
-	ownerNode := c.nodes[f.Owner]
-	ownerCached := false
+	remote := !f.HasReplica(x)
+	source := x
+	if remote {
+		source = c.pickFetchSource(rs, x)
+	}
+	srcNode := c.nodes[source]
+	srcCached := false
 	if remote && !cachedHere {
-		ownerCached = ownerNode.Cache.Peek(f.Path)
+		srcCached = srcNode.Cache.Peek(f.Path)
 	}
 	diskPerByte := rs.demand.DiskBytesPerByte
 	if diskPerByte <= 0 {
@@ -422,8 +427,9 @@ func (c *Cluster) streamFile(rs *request, x int) {
 	}
 
 	if remote && !cachedHere {
-		c.trace(rs, trace.EvFetchNFS, x, fmt.Sprintf("owner=%d", f.Owner))
+		c.trace(rs, trace.EvFetchNFS, x, fmt.Sprintf("source=%d", source))
 		c.nm[x].event(trace.EvFetchNFS)
+		c.nm[x].replicaFetch(f.Path, source)
 		rs.fetchPhase = "fetch_nfs"
 	} else {
 		c.trace(rs, trace.EvFetchLocal, x, "")
@@ -445,19 +451,19 @@ func (c *Cluster) streamFile(rs *request, x int) {
 			node.DiskReads++
 			node.DiskBytes += chunk
 			node.Disk.Submit(work, then)
-		case ownerCached:
+		case srcCached:
 			// The NFS server answers from its page cache.
-			c.net.InternalTransfer(f.Owner, x, chunk, then)
+			c.net.InternalTransfer(source, x, chunk, then)
 		default:
 			work := diskPerByte * float64(chunk)
-			if ownerNode.MemoryPressure() {
-				work *= ownerNode.Spec.SwapPenalty
-				ownerNode.SwappedOps++
+			if srcNode.MemoryPressure() {
+				work *= srcNode.Spec.SwapPenalty
+				srcNode.SwappedOps++
 			}
-			ownerNode.DiskReads++
-			ownerNode.DiskBytes += chunk
-			ownerNode.Disk.Submit(work, func() {
-				c.net.InternalTransfer(f.Owner, x, chunk, then)
+			srcNode.DiskReads++
+			srcNode.DiskBytes += chunk
+			srcNode.Disk.Submit(work, func() {
+				c.net.InternalTransfer(source, x, chunk, then)
 			})
 		}
 	}
@@ -473,10 +479,10 @@ func (c *Cluster) streamFile(rs *request, x int) {
 			if last && !cachedHere {
 				// The whole file has now passed through memory; it
 				// lands in the serving node's page cache, and on a
-				// remote read the owner's NFS server cached it too.
+				// remote read the source's NFS server cached it too.
 				node.Cache.Insert(f.Path, f.Size)
-				if remote && !ownerCached {
-					ownerNode.Cache.Insert(f.Path, f.Size)
+				if remote && !srcCached {
+					srcNode.Cache.Insert(f.Path, f.Size)
 				}
 			}
 			node.CPUWork(model.ActFulfill, rs.demand.OpsPerByte*float64(chunk), func() {

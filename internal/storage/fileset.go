@@ -104,6 +104,33 @@ func ADLSet(s *Store, scenes int, rng *rand.Rand) (meta, browse, full []string) 
 	return meta, browse, full
 }
 
+// Replicate extends every non-CGI document's replica set to r copies,
+// placing the extra replicas on the nodes following the owner in id order
+// (owner, owner+1, ... mod n). The spread is a pure function of the
+// manifest, so every node of a deployment computes the identical layout
+// from the shared manifest with no coordination — the static analogue of
+// the rebalancer's heat-driven placement. r is clamped to the cluster
+// size; r <= 1 is a no-op.
+func Replicate(s *Store, r int) {
+	if r > s.Nodes() {
+		r = s.Nodes()
+	}
+	if r <= 1 {
+		return
+	}
+	for _, p := range s.Paths() {
+		f, _ := s.Lookup(p)
+		if f.CGI {
+			continue
+		}
+		for k := 1; k < r; k++ {
+			if err := s.AddReplica(p, (f.Owner+k)%s.Nodes()); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
 // AddCGISet registers count CGI endpoints with the given per-invocation
 // computational demand, placed round-robin. CGI results are small (the
 // paper's CGI cost is compute, not bytes).

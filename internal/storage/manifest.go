@@ -13,11 +13,54 @@ import (
 // (the live daemons load it at startup; the simulator builds it in memory).
 // One file per line:
 //
-//	# path size owner [cgi <ops>]
+//	# path size replicas [cgi <ops>]
 //	/adl/meta/scene0001.html 2048 0
+//	/docs/hot.dat 4096 0,2,3
 //	/cgi-bin/query.cgi 512 3 cgi 4e7
 //
+// The third column is the replica set: a comma-separated node list whose
+// first entry is the primary owner. A bare integer is the legacy
+// single-owner form — old manifests parse unchanged as R=1, and R=1
+// entries are written back in exactly that form, so a replica-free
+// manifest round-trips byte-identically through a pre-replica reader.
 // Lines are whitespace-separated; '#' starts a comment.
+
+// formatReplicas renders the replica column: the bare owner for R=1, the
+// comma-joined set otherwise.
+func formatReplicas(f File) string {
+	reps := f.ReplicaSet()
+	if len(reps) == 1 {
+		return strconv.Itoa(reps[0])
+	}
+	parts := make([]string, len(reps))
+	for i, r := range reps {
+		parts[i] = strconv.Itoa(r)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseReplicas parses the replica column into (owner, replicas) where
+// replicas is nil for the R=1 forms ("3" or a single-element list).
+func parseReplicas(field string) (owner int, replicas []int, err error) {
+	if !strings.Contains(field, ",") {
+		owner, err = strconv.Atoi(field)
+		return owner, nil, err
+	}
+	parts := strings.Split(field, ",")
+	replicas = make([]int, len(parts))
+	for i, p := range parts {
+		n, perr := strconv.Atoi(p)
+		if perr != nil {
+			return 0, nil, perr
+		}
+		replicas[i] = n
+	}
+	owner = replicas[0]
+	if len(replicas) == 1 {
+		replicas = nil
+	}
+	return owner, replicas, nil
+}
 
 // WriteManifest serializes the store.
 func WriteManifest(w io.Writer, s *Store) error {
@@ -29,9 +72,9 @@ func WriteManifest(w io.Writer, s *Store) error {
 	for _, p := range paths {
 		f, _ := s.Lookup(p)
 		if f.CGI {
-			fmt.Fprintf(bw, "%s %d %d cgi %g\n", f.Path, f.Size, f.Owner, f.CGIOps)
+			fmt.Fprintf(bw, "%s %d %s cgi %g\n", f.Path, f.Size, formatReplicas(f), f.CGIOps)
 		} else {
-			fmt.Fprintf(bw, "%s %d %d\n", f.Path, f.Size, f.Owner)
+			fmt.Fprintf(bw, "%s %d %s\n", f.Path, f.Size, formatReplicas(f))
 		}
 	}
 	return bw.Flush()
@@ -68,17 +111,17 @@ func ReadManifest(r io.Reader) (*Store, error) {
 			return nil, fmt.Errorf("storage: line %d: file entry before nodes directive", lineNo)
 		}
 		if len(fields) < 3 {
-			return nil, fmt.Errorf("storage: line %d: want 'path size owner'", lineNo)
+			return nil, fmt.Errorf("storage: line %d: want 'path size replicas'", lineNo)
 		}
 		size, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("storage: line %d: bad size %q", lineNo, fields[1])
 		}
-		owner, err := strconv.Atoi(fields[2])
+		owner, replicas, err := parseReplicas(fields[2])
 		if err != nil {
-			return nil, fmt.Errorf("storage: line %d: bad owner %q", lineNo, fields[2])
+			return nil, fmt.Errorf("storage: line %d: bad replica set %q", lineNo, fields[2])
 		}
-		f := File{Path: fields[0], Size: size, Owner: owner}
+		f := File{Path: fields[0], Size: size, Owner: owner, Replicas: replicas}
 		if len(fields) >= 4 {
 			if fields[3] != "cgi" || len(fields) != 5 {
 				return nil, fmt.Errorf("storage: line %d: trailing fields must be 'cgi <ops>'", lineNo)

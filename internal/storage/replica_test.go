@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// randomStore builds an arbitrary layout: 4-10 nodes, files with replica
+// sets of R=1..4 (canonical form: owner-led, duplicate-free), a sprinkle
+// of CGI endpoints.
+func randomStore(rng *rand.Rand) *Store {
+	nodes := 4 + rng.Intn(7)
+	s := NewStore(nodes)
+	count := 1 + rng.Intn(40)
+	for i := 0; i < count; i++ {
+		f := File{
+			Path: fmt.Sprintf("/p%02d/doc%04d.dat", rng.Intn(8), i),
+			Size: rng.Int63n(1 << 20),
+		}
+		r := 1 + rng.Intn(4)
+		if r > nodes {
+			r = nodes
+		}
+		perm := rng.Perm(nodes)[:r]
+		f.Owner = perm[0]
+		if r > 1 {
+			f.Replicas = perm
+		}
+		if rng.Intn(6) == 0 {
+			f.CGI = true
+			f.CGIOps = float64(1+rng.Intn(100)) * 1e5
+			f.Replicas = nil // CGI endpoints are compute, not data; keep R=1
+		}
+		s.MustAdd(f)
+	}
+	return s
+}
+
+// TestManifestRoundTripProperty is the randomized property test: any
+// store survives Write -> Read -> Write with byte-identical output and
+// semantically identical files, replica sets included.
+func TestManifestRoundTripProperty(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		s := randomStore(rng)
+		var buf1 bytes.Buffer
+		if err := WriteManifest(&buf1, s); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ReadManifest(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v\n%s", trial, err, buf1.String())
+		}
+		if got.Nodes() != s.Nodes() || got.Len() != s.Len() {
+			t.Fatalf("trial %d: shape changed: %d/%d nodes, %d/%d files",
+				trial, got.Nodes(), s.Nodes(), got.Len(), s.Len())
+		}
+		for _, p := range s.Paths() {
+			want, _ := s.Lookup(p)
+			have, ok := got.Lookup(p)
+			if !ok {
+				t.Fatalf("trial %d: %s lost in round trip", trial, p)
+			}
+			if !reflect.DeepEqual(want, have) {
+				t.Fatalf("trial %d: %s changed: %+v != %+v", trial, p, want, have)
+			}
+			if !reflect.DeepEqual(want.ReplicaSet(), have.ReplicaSet()) {
+				t.Fatalf("trial %d: %s replica set changed: %v != %v",
+					trial, p, want.ReplicaSet(), have.ReplicaSet())
+			}
+		}
+		var buf2 bytes.Buffer
+		if err := WriteManifest(&buf2, got); err != nil {
+			t.Fatalf("trial %d: rewrite: %v", trial, err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("trial %d: manifest not byte-identical after round trip:\n--- first\n%s--- second\n%s",
+				trial, buf1.String(), buf2.String())
+		}
+	}
+}
+
+// TestManifestLegacySingleOwner pins backward compatibility: a manifest
+// written before replica sets existed (bare integer owner column) loads
+// as R=1, and writing it back emits the identical bare-integer form.
+func TestManifestLegacySingleOwner(t *testing.T) {
+	legacy := strings.Join([]string{
+		"# SWEB document manifest: 3 files on 4 nodes",
+		"nodes 4",
+		"/cgi-bin/query.cgi 512 3 cgi 4e+07",
+		"/docs/a.dat 2048 0",
+		"/docs/b.dat 4096 2",
+		"",
+	}, "\n")
+	s, err := ReadManifest(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Paths() {
+		f, _ := s.Lookup(p)
+		if f.Replicas != nil {
+			t.Fatalf("%s: legacy entry parsed with explicit replicas %v", p, f.Replicas)
+		}
+		if got := f.ReplicaSet(); len(got) != 1 || got[0] != f.Owner {
+			t.Fatalf("%s: legacy entry replica set = %v, want [%d]", p, got, f.Owner)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != legacy {
+		t.Fatalf("legacy manifest not preserved:\n--- in\n%s--- out\n%s", legacy, buf.String())
+	}
+}
+
+// TestReplicaValidation pins the malformed-set rejections and the runtime
+// mutations' invariants.
+func TestReplicaValidation(t *testing.T) {
+	s := NewStore(4)
+	if err := s.Add(File{Path: "/dup", Size: 1, Owner: 0, Replicas: []int{0, 2, 2}}); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+	if err := s.Add(File{Path: "/lead", Size: 1, Owner: 0, Replicas: []int{1, 0}}); err == nil {
+		t.Fatal("replica set not led by owner accepted")
+	}
+	if err := s.Add(File{Path: "/range", Size: 1, Owner: 0, Replicas: []int{0, 9}}); err == nil {
+		t.Fatal("out-of-range replica accepted")
+	}
+	if _, err := ReadManifest(strings.NewReader("nodes 4\n/a 1 0,2,2\n")); err == nil {
+		t.Fatal("manifest with duplicate replicas accepted")
+	}
+
+	s.MustAdd(File{Path: "/doc", Size: 8, Owner: 1})
+	if err := s.AddReplica("/doc", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddReplica("/doc", 3); err != nil {
+		t.Fatalf("idempotent AddReplica errored: %v", err)
+	}
+	if got := s.Replicas("/doc"); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("replicas = %v, want [1 3]", got)
+	}
+	if err := s.DropReplica("/doc", 1); err == nil {
+		t.Fatal("dropping the primary replica accepted")
+	}
+	if err := s.DropReplica("/doc", 3); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := s.Lookup("/doc")
+	if f.Replicas != nil {
+		t.Fatalf("drop back to R=1 should normalize to nil, got %v", f.Replicas)
+	}
+}
